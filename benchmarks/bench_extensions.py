@@ -1,0 +1,96 @@
+"""Extensions beyond the paper's evaluation.
+
+1. **FA_Lite** (Section 4.4 discussion): the SPARC/AMD-style single
+   fully-associative mixed L1 TLB with Lite resizing its capacity in
+   powers of two — compared against the Intel-style THP/TLB_Lite split.
+2. **RMM_PP_Lite** (Section 6.1 future work): "RMM_Lite and TLB_PP are
+   orthogonal; a combined approach could use the L1-range TLB for range
+   translations, the TLB_PP for pages, and the Lite mechanism" —
+   compared against its two parents.
+3. **Static energy** (Section 6.2): leakage with and without power-gating
+   the ways Lite disables.
+"""
+
+from conftest import BENCH_ACCESSES, emit
+
+from repro.analysis.experiments import (
+    ExperimentSettings,
+    run_workload_config,
+    run_workload_config_with_org,
+)
+from repro.analysis.report import render_table
+from repro.energy.static import StaticEnergyModel
+from repro.workloads.registry import get_workload
+
+SETTINGS = ExperimentSettings(trace_accesses=max(BENCH_ACCESSES // 2, 100_000))
+WORKLOADS = ("astar", "cactusADM", "mcf", "omnetpp")
+
+
+def run_all():
+    out = {}
+    for name in WORKLOADS:
+        workload = get_workload(name)
+        for config in ("THP", "TLB_Lite", "FA_Lite", "TLB_PP", "RMM_Lite", "RMM_PP_Lite"):
+            out[(name, config)] = run_workload_config(workload, config, SETTINGS)
+        for config in ("THP", "TLB_Lite"):
+            out[(name, config, "org")] = run_workload_config_with_org(
+                workload, config, SETTINGS
+            )
+    return out
+
+
+def test_extensions(benchmark):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # --- FA_Lite and RMM_PP_Lite vs their parents -----------------------
+    rows = []
+    for name in WORKLOADS:
+        thp = data[(name, "THP")].total_energy_pj
+        rows.append(
+            [name]
+            + [
+                data[(name, config)].total_energy_pj / thp
+                for config in ("TLB_Lite", "FA_Lite", "TLB_PP", "RMM_Lite", "RMM_PP_Lite")
+            ]
+            + [data[(name, "RMM_PP_Lite")].l1_mpki]
+        )
+    table_a = render_table(
+        ["workload", "TLB_Lite", "FA_Lite", "TLB_PP", "RMM_Lite", "RMM_PP_Lite", "combined L1 MPKI"],
+        rows,
+        title="Extensions — dynamic energy vs THP (FA_Lite = Section 4.4; "
+        "RMM_PP_Lite = Section 6.1 combined design)",
+    )
+
+    # --- static energy with power gating (Section 6.2) ------------------
+    model = StaticEnergyModel()
+    static_rows = []
+    for name in WORKLOADS:
+        result, org = data[(name, "TLB_Lite", "org")]
+        thp_result, thp_org = data[(name, "THP", "org")]
+        static_rows.append(
+            [
+                name,
+                model.total_leakage_pj(thp_org, thp_result, power_gating=False) / 1e6,
+                model.total_leakage_pj(org, result, power_gating=False) / 1e6,
+                model.total_leakage_pj(org, result, power_gating=True) / 1e6,
+            ]
+        )
+    table_b = render_table(
+        ["workload", "THP leak µJ", "TLB_Lite leak µJ", "TLB_Lite gated µJ"],
+        static_rows,
+        title="Extensions — leakage energy; power-gating the ways Lite disables "
+        "(Section 6.2)",
+    )
+    emit("extensions", table_a + "\n\n" + table_b)
+
+    for name in WORKLOADS:
+        thp = data[(name, "THP")].total_energy_pj
+        # The combined design is at least as good as TLB_PP alone.
+        assert data[(name, "RMM_PP_Lite")].total_energy_pj < data[
+            (name, "TLB_PP")
+        ].total_energy_pj * 1.02
+        # FA_Lite competes with the Intel-style TLB_Lite.
+        assert data[(name, "FA_Lite")].total_energy_pj < thp * 1.05
+    for row in static_rows:
+        # Gating never increases leakage.
+        assert row[3] <= row[2] + 1e-9

@@ -1,0 +1,75 @@
+"""Figure 2: energy characterization of 4KB vs THP vs RMM.
+
+(a) dynamic address-translation energy, normalised to 4KB per workload,
+    with the component breakdown that identifies L1 TLBs and page walks
+    as the two dominant sources;
+(b) cycles spent in TLB misses, normalised to 4KB.
+
+Paper shapes checked: THP cuts miss cycles ~83% on average but *raises*
+mean dynamic energy (canneal worst); energy falls only for the walk-bound
+cactusADM and mcf; RMM eliminates the walks but keeps L1 energy high.
+"""
+
+from conftest import emit, intensive_names, main_matrix
+
+from repro.analysis.normalize import average_ratio, normalized_energy, normalized_miss_cycles
+from repro.analysis.report import render_table
+
+CONFIGS = ("4KB", "THP", "RMM")
+
+
+def test_fig02_energy_and_cycles(benchmark):
+    results = benchmark.pedantic(main_matrix, rounds=1, iterations=1)
+    names = intensive_names()
+
+    energy_rows = []
+    cycle_rows = []
+    for name in names:
+        energy_rows.append(
+            [name]
+            + [normalized_energy(results, name, config) for config in CONFIGS]
+            + [
+                results[(name, "4KB")].energy.fraction("page_walk"),
+                results[(name, "4KB")].energy.l1_tlb_pj
+                / results[(name, "4KB")].total_energy_pj,
+            ]
+        )
+        cycle_rows.append(
+            [name] + [normalized_miss_cycles(results, name, config) for config in CONFIGS]
+        )
+    energy_rows.append(
+        ["average"]
+        + [
+            average_ratio([normalized_energy(results, n, config) for n in names])
+            for config in CONFIGS
+        ]
+        + [float("nan"), float("nan")]
+    )
+    cycle_rows.append(
+        ["average"]
+        + [
+            average_ratio([normalized_miss_cycles(results, n, config) for n in names])
+            for config in CONFIGS
+        ]
+    )
+
+    text_a = render_table(
+        ["workload", "4KB", "THP", "RMM", "walk frac@4KB", "L1 frac@4KB"],
+        energy_rows,
+        title="Figure 2a — dynamic energy, normalised to 4KB",
+    )
+    text_b = render_table(
+        ["workload", "4KB", "THP", "RMM"],
+        cycle_rows,
+        title="Figure 2b — TLB-miss cycles, normalised to 4KB",
+    )
+    emit("fig02_characterization", text_a + "\n\n" + text_b)
+
+    # Shape assertions (paper Section 3).
+    thp_cycles = average_ratio([normalized_miss_cycles(results, n, "THP") for n in names])
+    assert thp_cycles < 0.45  # paper: 0.17
+    rmm_cycles = average_ratio([normalized_miss_cycles(results, n, "RMM") for n in names])
+    assert rmm_cycles < thp_cycles  # RMM beats THP on cycles
+    assert normalized_energy(results, "cactusADM", "THP") < 1.0
+    assert normalized_energy(results, "mcf", "THP") < 1.0
+    assert normalized_energy(results, "canneal", "THP") > 1.0

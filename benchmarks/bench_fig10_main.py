@@ -1,0 +1,93 @@
+"""Figure 10: the paper's main result.
+
+Dynamic address-translation energy (top) and TLB-miss cycles (bottom) for
+all six configurations over the TLB-intensive workloads, normalised to
+the 4KB configuration.
+
+Paper shapes checked:
+
+* TLB_Lite cuts dynamic energy vs THP (paper −23%) at near-THP cycles;
+* RMM keeps L1 energy THP-like (−8%) while eliminating walks;
+* TLB_PP sits well below THP (paper −43%) but above RMM_Lite;
+* RMM_Lite wins outright (paper −71% energy vs THP, −99% of L1-miss
+  cycles on top of RMM's near-zero L2 misses).
+"""
+
+from conftest import emit, intensive_names, main_matrix
+
+from repro.analysis.normalize import average_ratio, normalized_energy, normalized_miss_cycles
+from repro.analysis.report import render_table
+from repro.core.organizations import CONFIG_NAMES
+
+
+def test_fig10_energy_and_cycles(benchmark):
+    results = benchmark.pedantic(main_matrix, rounds=1, iterations=1)
+    names = intensive_names()
+
+    def block(metric):
+        rows = [
+            [name] + [metric(results, name, config) for config in CONFIG_NAMES]
+            for name in names
+        ]
+        rows.append(
+            ["average"]
+            + [
+                average_ratio([metric(results, name, config) for name in names])
+                for config in CONFIG_NAMES
+            ]
+        )
+        return rows
+
+    energy_rows = block(normalized_energy)
+    cycle_rows = block(normalized_miss_cycles)
+    emit(
+        "fig10_main",
+        render_table(
+            ["workload"] + list(CONFIG_NAMES),
+            energy_rows,
+            title="Figure 10 (top) — dynamic energy, normalised to 4KB",
+        )
+        + "\n\n"
+        + render_table(
+            ["workload"] + list(CONFIG_NAMES),
+            cycle_rows,
+            title="Figure 10 (bottom) — TLB-miss cycles, normalised to 4KB",
+        ),
+    )
+
+    avg_energy = {
+        config: average_ratio([normalized_energy(results, n, config) for n in names])
+        for config in CONFIG_NAMES
+    }
+    avg_cycles = {
+        config: average_ratio([normalized_miss_cycles(results, n, config) for n in names])
+        for config in CONFIG_NAMES
+    }
+
+    # --- ordering of winners, as in the paper --------------------------
+    assert avg_energy["TLB_Lite"] < avg_energy["THP"]
+    assert avg_energy["RMM"] < avg_energy["THP"]
+    assert avg_energy["TLB_PP"] < avg_energy["TLB_Lite"]
+    assert avg_energy["RMM_Lite"] == min(avg_energy.values())
+
+    # --- magnitudes (band: who wins by roughly what factor) ------------
+    lite_vs_thp = avg_energy["TLB_Lite"] / avg_energy["THP"]
+    assert 0.6 < lite_vs_thp < 0.95  # paper: 0.77
+    rmm_lite_vs_thp = avg_energy["RMM_Lite"] / avg_energy["THP"]
+    assert rmm_lite_vs_thp < 0.6  # paper: 0.29
+
+    # --- cycles ---------------------------------------------------------
+    assert avg_cycles["THP"] < 0.45  # paper: 0.17
+    assert avg_cycles["RMM_Lite"] < 0.1  # paper: ~0.01
+    # TLB_Lite barely hurts cycles relative to THP.
+    assert avg_cycles["TLB_Lite"] - avg_cycles["THP"] < 0.12
+
+    # --- RMM_Lite kills L1-miss cycles (paper: -99% vs THP) -------------
+    l1_ratio = average_ratio(
+        [
+            results[(n, "RMM_Lite")].cycles.l1_miss_cycles
+            / max(results[(n, "THP")].cycles.l1_miss_cycles, 1)
+            for n in names
+        ]
+    )
+    assert l1_ratio < 0.15

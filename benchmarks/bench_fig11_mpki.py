@@ -1,0 +1,54 @@
+"""Figure 11: L1 and L2 TLB misses per thousand instructions.
+
+Per workload and configuration, the raw MPKI numbers behind Figure 10's
+cycle results.  Checked shapes: every workload is TLB-intensive at 4 KB
+pages (the paper's >5 L1 MPKI selection criterion); THP slashes both
+miss classes; RMM and RMM_Lite drive L2 misses to ~zero.
+"""
+
+from conftest import emit, intensive_names, main_matrix
+
+from repro.analysis.report import render_table
+from repro.core.organizations import CONFIG_NAMES
+
+
+def test_fig11_mpki(benchmark):
+    results = benchmark.pedantic(main_matrix, rounds=1, iterations=1)
+    names = intensive_names()
+
+    l1_rows = [
+        [name] + [results[(name, config)].l1_mpki for config in CONFIG_NAMES]
+        for name in names
+    ]
+    l2_rows = [
+        [name] + [results[(name, config)].l2_mpki for config in CONFIG_NAMES]
+        for name in names
+    ]
+    emit(
+        "fig11_mpki",
+        render_table(
+            ["workload"] + list(CONFIG_NAMES),
+            l1_rows,
+            title="Figure 11 (top) — L1 TLB MPKI",
+        )
+        + "\n\n"
+        + render_table(
+            ["workload"] + list(CONFIG_NAMES),
+            l2_rows,
+            title="Figure 11 (bottom) — L2 TLB MPKI",
+        ),
+    )
+
+    for name in names:
+        # Selection criterion: TLB-intensive at 4 KB pages.
+        assert results[(name, "4KB")].l1_mpki > 5, name
+        # THP reduces L1 misses.
+        assert results[(name, "THP")].l1_mpki < results[(name, "4KB")].l1_mpki
+        # Range translations eliminate L2 misses (near-zero walks).
+        assert results[(name, "RMM")].l2_mpki < 0.05, name
+        assert results[(name, "RMM_Lite")].l2_mpki < 0.05, name
+        # RMM_Lite's L1-range TLB nearly eliminates L1 misses too.
+        assert (
+            results[(name, "RMM_Lite")].l1_mpki
+            < 0.5 * results[(name, "THP")].l1_mpki + 0.1
+        ), name

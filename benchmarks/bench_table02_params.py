@@ -1,0 +1,57 @@
+"""Table 2 + Figure 9: energy parameters and configuration inventory.
+
+Prints the Cacti-derived per-structure energies the simulator uses
+(verbatim from the paper's Table 2, plus documented analytic extensions)
+and the six simulated configurations.  The timed section measures
+organization construction, the fixed cost every experiment pays.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.core.organizations import CONFIG_NAMES, build_organization, paging_policy_for
+from repro.energy.cacti import (
+    L1_CACHE,
+    L2_CACHE_READ_PJ,
+    MMU_CACHE_PDE,
+    TABLE2_FULLY_ASSOC,
+    TABLE2_PAGE_TLB,
+    TABLE2_RANGE_TLB,
+)
+from repro.mem.physical import PhysicalMemory
+from repro.mem.process import Process
+from repro.mmu.translation import PAGES_PER_2MB
+
+
+def test_table02_energy_parameters(benchmark):
+    def build_everything():
+        organizations = []
+        for name in CONFIG_NAMES:
+            process = Process(PhysicalMemory(1 << 30, seed=1), paging_policy_for(name))
+            process.mmap(PAGES_PER_2MB * 2, name="heap")
+            organizations.append(build_organization(name, process))
+        return organizations
+
+    organizations = benchmark.pedantic(build_everything, rounds=3, iterations=1)
+
+    rows = []
+    for (entries, ways), params in sorted(TABLE2_PAGE_TLB.items()):
+        rows.append(
+            [f"page TLB {entries}e/{ways}w", params.read_pj, params.write_pj, params.leakage_mw]
+        )
+    for entries, params in sorted(TABLE2_FULLY_ASSOC.items()):
+        rows.append([f"fully assoc {entries}e", params.read_pj, params.write_pj, params.leakage_mw])
+    for entries, params in sorted(TABLE2_RANGE_TLB.items()):
+        rows.append([f"range TLB {entries}e", params.read_pj, params.write_pj, params.leakage_mw])
+    rows.append(["MMU-cache PDE 32e/2w", MMU_CACHE_PDE.read_pj, MMU_CACHE_PDE.write_pj, MMU_CACHE_PDE.leakage_mw])
+    rows.append(["L1 cache 32KB/8w", L1_CACHE.read_pj, L1_CACHE.write_pj, L1_CACHE.leakage_mw])
+    rows.append(["L2 cache (derived)", L2_CACHE_READ_PJ, float("nan"), float("nan")])
+    table = render_table(
+        ["structure", "read pJ", "write pJ", "leak mW"],
+        rows,
+        title="Table 2 — per-access dynamic energy (32nm Cacti, paper values)",
+    )
+
+    summaries = "\n\n".join(org.summary.render() for org in organizations)
+    emit("table02_params", table + "\n\nFigure 9 — simulated configurations\n" + summaries)
+    assert len(organizations) == 6

@@ -1,0 +1,42 @@
+"""Table 4: workload inventory (suite, footprint, description).
+
+Also measures trace-generation throughput, the substitution for the
+paper's Pin instrumentation.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.workloads.registry import get_workload, tlb_intensive_workloads
+
+
+def test_table04_workloads(benchmark):
+    workloads = tlb_intensive_workloads()
+
+    def generate_all_traces():
+        return [workload.trace(100_000, seed=42) for workload in workloads]
+
+    traces = benchmark.pedantic(generate_all_traces, rounds=3, iterations=1)
+    assert all(len(trace) == 100_000 for trace in traces)
+
+    rows = [
+        [
+            workload.name,
+            workload.suite,
+            f"{workload.footprint_mb:.0f} MB",
+            len(workload.vma_specs),
+            workload.description,
+        ]
+        for workload in workloads
+    ]
+    emit(
+        "table04_workloads",
+        render_table(
+            ["workload", "suite", "memory", "VMAs", "model"],
+            rows,
+            title="Table 4 — TLB-intensive workloads (footprints match the paper)",
+        ),
+    )
+    # Paper footprints, sanity-pinned.
+    assert abs(get_workload("mcf").footprint_mb - 1700) < 100
+    assert abs(get_workload("omnetpp").footprint_mb - 165) < 10

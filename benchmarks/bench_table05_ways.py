@@ -1,0 +1,76 @@
+"""Table 5: Lite way activity and L1 hit attribution.
+
+Left half: percentage of lookups executed with 4/2/1 active ways in the
+L1-page TLBs, for TLB_Lite (4KB and 2MB TLBs) and RMM_Lite (4KB TLB).
+Right half: percentage of L1 hits served by each structure.
+
+Paper shapes checked: RMM_Lite downsizes the L1-4KB TLB far more
+aggressively than TLB_Lite (63.7% of lookups at 1 way, thanks to the
+L1-range TLB's 84.1% hit share); omnetpp and canneal pin 4 ways.
+"""
+
+from conftest import emit, intensive_names, main_matrix
+
+from repro.analysis.report import render_table
+
+
+def shares_row(result, structure):
+    shares = result.way_lookup_shares(structure)
+    return [shares.get(4, 0.0) * 100, shares.get(2, 0.0) * 100, shares.get(1, 0.0) * 100]
+
+
+def test_table05_way_activity_and_hit_shares(benchmark):
+    results = benchmark.pedantic(main_matrix, rounds=1, iterations=1)
+    names = intensive_names()
+
+    rows = []
+    for name in names:
+        tlb_lite = results[(name, "TLB_Lite")]
+        rmm_lite = results[(name, "RMM_Lite")]
+        hits_lite = tlb_lite.hit_shares()
+        hits_rmm = rmm_lite.hit_shares()
+        rows.append(
+            [name]
+            + shares_row(tlb_lite, "L1-4KB")
+            + shares_row(tlb_lite, "L1-2MB")
+            + shares_row(rmm_lite, "L1-4KB")
+            + [
+                hits_lite.get("L1-4KB", 0.0) * 100,
+                hits_lite.get("L1-2MB", 0.0) * 100,
+                hits_rmm.get("L1-4KB", 0.0) * 100,
+                hits_rmm.get("L1-range", 0.0) * 100,
+            ]
+        )
+    averages = ["average"] + [
+        sum(row[column] for row in rows) / len(rows) for column in range(1, len(rows[0]))
+    ]
+    rows.append(averages)
+    emit(
+        "table05_ways",
+        render_table(
+            [
+                "workload",
+                "Lite4K:4w", "2w", "1w",
+                "Lite2M:4w", "2w", "1w",
+                "RMM4K:4w", "2w", "1w",
+                "hits:4K%", "2M%",
+                "rmm:4K%", "range%",
+            ],
+            rows,
+            title="Table 5 — % lookups per active-way count, and L1 hit shares",
+            float_format="{:.1f}",
+        ),
+    )
+
+    averages_by_name = dict(zip([r[0] for r in rows], rows))
+    avg = averages_by_name["average"]
+    # RMM_Lite runs 1-way much more than TLB_Lite (paper: 63.7% vs 15.9%).
+    rmm_lite_1w = avg[9]
+    tlb_lite_1w = avg[3]
+    assert rmm_lite_1w > 40
+    assert rmm_lite_1w > tlb_lite_1w + 20
+    # The L1-range TLB dominates RMM_Lite hits (paper: 84.1%).
+    assert avg[13] > 70
+    # omnetpp and canneal keep all 4 ways under TLB_Lite (paper: 100%).
+    for pinned in ("omnetpp", "canneal"):
+        assert averages_by_name[pinned][1] > 90, pinned

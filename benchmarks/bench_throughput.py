@@ -1,0 +1,45 @@
+"""Simulator throughput: accesses per second per configuration.
+
+Not a paper figure — the performance characteristics of the simulator
+itself, which bound experiment sizes (the repro band for this paper notes
+"simplified trace simulator; slow on full workloads").  pytest-benchmark
+measures the steady-state simulation rate for each hierarchy shape.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings
+from repro.core.organizations import build_organization, paging_policy_for
+from repro.core.simulator import Simulator
+from repro.mem.physical import PhysicalMemory
+from repro.workloads.registry import get_workload
+
+ACCESSES = 120_000
+CONFIGS = ("4KB", "THP", "TLB_Lite", "RMM_Lite", "TLB_PP")
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_throughput(benchmark, config):
+    workload = get_workload("omnetpp")
+    trace = workload.trace(ACCESSES, seed=1)
+    settings = ExperimentSettings(trace_accesses=ACCESSES)
+
+    def build():
+        process = workload.build_process(
+            paging_policy_for(config), PhysicalMemory(settings.physical_bytes, seed=1)
+        )
+        organization = build_organization(config, process)
+        return Simulator(
+            organization, instructions_per_access=workload.instructions_per_access
+        )
+
+    def run_once():
+        simulator = build()
+        return simulator.run(trace, fast_forward_accesses=0)
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert result.accesses == ACCESSES
+    # Guardrail: the pure-Python simulator should stay above ~100k
+    # accesses/second for the simple hierarchies on any modern machine.
+    seconds = benchmark.stats.stats.mean
+    assert ACCESSES / seconds > 20_000, f"{config} simulated at {ACCESSES/seconds:.0f} acc/s"

@@ -1,0 +1,65 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables or figures.  The heavy
+part — the (workload × configuration) simulation matrix — is computed once
+per session and shared across bench modules (Figures 2, 10, 11 and
+Table 5 all read the same matrix, exactly as in the paper).
+
+Rendered tables are written to ``benchmarks/results/*.txt`` and echoed to
+the terminal even under pytest's output capture, so
+``pytest benchmarks/ --benchmark-only`` leaves a readable record.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings, run_matrix
+from repro.core.organizations import CONFIG_NAMES
+from repro.workloads.registry import tlb_intensive_workloads
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Trace length for the main matrix.  Override with REPRO_BENCH_ACCESSES
+#: for quicker smoke runs or longer, lower-variance ones.
+BENCH_ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", 600_000))
+
+MAIN_SETTINGS = ExperimentSettings(trace_accesses=BENCH_ACCESSES)
+
+_MATRIX_CACHE: dict | None = None
+
+
+def main_matrix():
+    """The Figure 10 matrix: 8 TLB-intensive workloads × 6 configurations."""
+    global _MATRIX_CACHE
+    if _MATRIX_CACHE is None:
+        _MATRIX_CACHE = run_matrix(
+            tlb_intensive_workloads(), CONFIG_NAMES, MAIN_SETTINGS
+        )
+    return _MATRIX_CACHE
+
+
+def intensive_names() -> list[str]:
+    return [w.name for w in tlb_intensive_workloads()]
+
+
+def emit(name: str, text: str) -> None:
+    """Save a rendered table and echo it past pytest's capture."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    sys.stdout.write(f"\n{text}\n")
+
+
+@pytest.fixture(autouse=True)
+def _echo_captured_output(capfd):
+    """Re-emit captured stdout after each bench so tables reach the terminal."""
+    yield
+    out, _err = capfd.readouterr()
+    if out.strip():
+        with capfd.disabled():
+            sys.stdout.write(out)

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The environment's setuptools (65.x) needs `wheel` for PEP 660 editable
+installs; this shim lets pip fall back to the legacy `setup.py develop`
+path (`pip install -e . --no-use-pep517 --no-build-isolation`), which is
+also configured as the default in the repo's pip configuration.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    Show every registered workload (suite, footprint, intensity) and the
+    available TLB configurations.
+run
+    Simulate one workload under one or more configurations and print the
+    headline metrics.
+sweep
+    Run a workload across all paper configurations, normalised to 4KB —
+    a one-workload slice of Figure 10.
+describe
+    Print a configuration's structure inventory (Figure 9 style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.experiments import ExperimentSettings, run_workload_config
+from .analysis.report import render_table
+from .core.organizations import (
+    CONFIG_NAMES,
+    EXTENDED_CONFIG_NAMES,
+    build_organization,
+    paging_policy_for,
+)
+from .mem.physical import PhysicalMemory
+from .mem.process import Process
+from .mmu.translation import PAGES_PER_2MB
+from .workloads.registry import all_workloads, get_workload
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        [
+            workload.name,
+            workload.suite,
+            f"{workload.footprint_mb:.0f} MB",
+            "yes" if workload.tlb_intensive else "no",
+        ]
+        for workload in all_workloads().values()
+    ]
+    print(render_table(["workload", "suite", "memory", "TLB-intensive"], rows))
+    print("\nconfigurations:", ", ".join(EXTENDED_CONFIG_NAMES))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    workload = get_workload(args.workload)
+    settings = ExperimentSettings(trace_accesses=args.accesses, seed=args.seed)
+    rows = []
+    for config in args.configs:
+        result = run_workload_config(workload, config, settings)
+        rows.append(
+            [
+                config,
+                result.energy_per_access_pj,
+                result.l1_mpki,
+                result.l2_mpki,
+                result.miss_cycles,
+            ]
+        )
+    print(
+        render_table(
+            ["config", "pJ/access", "L1 MPKI", "L2 MPKI", "miss cycles"],
+            rows,
+            title=f"{workload.name} ({workload.footprint_mb:.0f} MB), "
+            f"{args.accesses} accesses",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    workload = get_workload(args.workload)
+    settings = ExperimentSettings(trace_accesses=args.accesses, seed=args.seed)
+    rows = []
+    baseline = None
+    for config in CONFIG_NAMES:
+        result = run_workload_config(workload, config, settings)
+        if baseline is None:
+            baseline = result
+        rows.append(
+            [
+                config,
+                result.total_energy_pj / baseline.total_energy_pj,
+                result.miss_cycles / max(baseline.miss_cycles, 1),
+            ]
+        )
+    print(
+        render_table(
+            ["config", "energy vs 4KB", "miss cycles vs 4KB"],
+            rows,
+            title=f"{workload.name} — Figure 10 slice",
+        )
+    )
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    process = Process(PhysicalMemory(1 << 30, seed=0), paging_policy_for(args.config))
+    process.mmap(PAGES_PER_2MB * 2, name="heap")
+    organization = build_organization(args.config, process)
+    print(organization.summary.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Energy-Efficient Address Translation' (HPCA 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and configurations")
+
+    run_parser = sub.add_parser("run", help="simulate one workload")
+    run_parser.add_argument("workload")
+    run_parser.add_argument(
+        "--configs", nargs="+", default=["THP"], choices=EXTENDED_CONFIG_NAMES
+    )
+    run_parser.add_argument("--accesses", type=int, default=200_000)
+    run_parser.add_argument("--seed", type=int, default=42)
+
+    sweep_parser = sub.add_parser("sweep", help="all six paper configurations")
+    sweep_parser.add_argument("workload")
+    sweep_parser.add_argument("--accesses", type=int, default=200_000)
+    sweep_parser.add_argument("--seed", type=int, default=42)
+
+    describe_parser = sub.add_parser("describe", help="show a configuration")
+    describe_parser.add_argument("config", choices=EXTENDED_CONFIG_NAMES)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "describe": _cmd_describe,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

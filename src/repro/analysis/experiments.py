@@ -1,0 +1,212 @@
+"""Shared experiment drivers: run (workload × configuration) matrices.
+
+Every benchmark harness and example builds on these helpers so that a
+figure's numbers always come from the same pipeline: build the process
+under the configuration's paging policy, build the TLB organization,
+generate the workload's reference stream, and simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.organizations import (
+    CONFIG_NAMES,
+    build_organization,
+    paging_policy_for,
+)
+from ..core.params import HierarchyParams, LiteParams, SimulationParams
+from ..core.simulator import Simulator
+from ..core.stats import SimulationResult
+from ..energy.model import EnergyModel
+from ..mem.physical import PhysicalMemory
+from ..workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Run-level knobs shared across a whole figure/table."""
+
+    trace_accesses: int = 1_000_000
+    seed: int = 42
+    thp_coverage: float = 1.0
+    physical_bytes: int = 32 << 30
+    sim_params: SimulationParams = field(default_factory=SimulationParams)
+
+    def scaled_lite_interval(self) -> int:
+        """Lite interval matched to the scaled-down trace length.
+
+        The paper pairs a 1 M-instruction interval with 50 G simulated
+        instructions (50 000 intervals).  At bench-scale traces we keep
+        ~150 intervals: enough decisions per phase for Lite to adapt,
+        while keeping each interval long enough that the fixed cost of a
+        reconfiguration (refilling invalidated ways) stays small relative
+        to the interval, as it is at the paper's scale.
+        """
+        approx_instructions = self.trace_accesses * 3
+        return max(10_000, approx_instructions // 150)
+
+
+def run_workload_config(
+    workload: Workload,
+    config_name: str,
+    settings: ExperimentSettings | None = None,
+    hierarchy_params: HierarchyParams | None = None,
+    lite_params: LiteParams | None = None,
+    energy_model: EnergyModel | None = None,
+    record_history: bool = False,
+) -> SimulationResult:
+    """Simulate one workload under one named configuration."""
+    result, _organization = run_workload_config_with_org(
+        workload,
+        config_name,
+        settings,
+        hierarchy_params=hierarchy_params,
+        lite_params=lite_params,
+        energy_model=energy_model,
+        record_history=record_history,
+    )
+    return result
+
+
+def run_workload_config_with_org(
+    workload: Workload,
+    config_name: str,
+    settings: ExperimentSettings | None = None,
+    hierarchy_params: HierarchyParams | None = None,
+    lite_params: LiteParams | None = None,
+    energy_model: EnergyModel | None = None,
+    record_history: bool = False,
+):
+    """Like :func:`run_workload_config` but also returns the organization.
+
+    The organization carries the energy bindings that post-hoc analyses
+    (e.g. the Section 6.2 static-energy model) need alongside the result.
+    """
+    settings = settings or ExperimentSettings()
+    policy = paging_policy_for(config_name, settings.thp_coverage)
+    process = workload.build_process(
+        policy, physical=PhysicalMemory(settings.physical_bytes, seed=settings.seed)
+    )
+    organization = build_organization(
+        config_name,
+        process,
+        params=hierarchy_params,
+        lite_params=_scaled_lite_params(config_name, lite_params, settings),
+        record_history=record_history,
+    )
+    trace = workload.trace(settings.trace_accesses, seed=settings.seed)
+    simulator = Simulator(
+        organization,
+        workload_name=workload.name,
+        instructions_per_access=workload.instructions_per_access,
+        sim_params=settings.sim_params,
+        energy_model=energy_model,
+    )
+    return simulator.run(trace), organization
+
+
+def _scaled_lite_params(
+    config_name: str,
+    lite_params: LiteParams | None,
+    settings: ExperimentSettings,
+) -> LiteParams | None:
+    """Default Lite parameters with the interval scaled to the trace."""
+    if config_name not in ("TLB_Lite", "RMM_Lite", "FA_Lite", "RMM_PP_Lite", "L0_Lite"):
+        return None
+    if lite_params is not None:
+        return lite_params
+    from ..core.params import RMM_LITE_PARAMS, TLB_LITE_PARAMS
+
+    # FA_Lite follows TLB_Lite's relative threshold (high reference MPKI);
+    # RMM_PP_Lite follows RMM_Lite's absolute one (near-zero reference).
+    base = (
+        TLB_LITE_PARAMS
+        if config_name in ("TLB_Lite", "FA_Lite", "L0_Lite")
+        else RMM_LITE_PARAMS
+    )
+    return LiteParams(
+        interval_instructions=settings.scaled_lite_interval(),
+        threshold_mode=base.threshold_mode,
+        epsilon_relative=base.epsilon_relative,
+        epsilon_absolute=base.epsilon_absolute,
+        reactivate_probability=base.reactivate_probability,
+        min_ways=base.min_ways,
+        seed=base.seed,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicatedMetric:
+    """Mean and spread of a metric over seed replicas."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    values: tuple[float, ...]
+
+    @property
+    def spread(self) -> float:
+        """Max minus min — the error-bar width."""
+        return self.maximum - self.minimum
+
+
+def run_replicated(
+    workload: Workload,
+    config_name: str,
+    settings: ExperimentSettings | None = None,
+    seeds: tuple[int, ...] = (42, 43, 44),
+    **kwargs,
+) -> dict[str, ReplicatedMetric]:
+    """Run one (workload, configuration) under several trace seeds.
+
+    Returns mean/min/max for the headline metrics — the error bars behind
+    any single-seed number.  Every replica re-derives its trace, frame
+    placement, and Zipf/hot-set layouts from the seed.
+    """
+    settings = settings or ExperimentSettings()
+    metrics: dict[str, list[float]] = {
+        "energy_per_access_pj": [],
+        "l1_mpki": [],
+        "l2_mpki": [],
+        "miss_cycles": [],
+    }
+    for seed in seeds:
+        replica_settings = ExperimentSettings(
+            trace_accesses=settings.trace_accesses,
+            seed=seed,
+            thp_coverage=settings.thp_coverage,
+            physical_bytes=settings.physical_bytes,
+            sim_params=settings.sim_params,
+        )
+        result = run_workload_config(workload, config_name, replica_settings, **kwargs)
+        metrics["energy_per_access_pj"].append(result.energy_per_access_pj)
+        metrics["l1_mpki"].append(result.l1_mpki)
+        metrics["l2_mpki"].append(result.l2_mpki)
+        metrics["miss_cycles"].append(float(result.miss_cycles))
+    return {
+        name: ReplicatedMetric(
+            mean=sum(values) / len(values),
+            minimum=min(values),
+            maximum=max(values),
+            values=tuple(values),
+        )
+        for name, values in metrics.items()
+    }
+
+
+def run_matrix(
+    workloads: list[Workload],
+    config_names: tuple[str, ...] = CONFIG_NAMES,
+    settings: ExperimentSettings | None = None,
+    **kwargs,
+) -> dict[tuple[str, str], SimulationResult]:
+    """Run every (workload, configuration) pair; keys are (name, config)."""
+    settings = settings or ExperimentSettings()
+    results: dict[tuple[str, str], SimulationResult] = {}
+    for workload in workloads:
+        for config_name in config_names:
+            results[(workload.name, config_name)] = run_workload_config(
+                workload, config_name, settings, **kwargs
+            )
+    return results

@@ -1,0 +1,94 @@
+"""Result export: flatten simulation results to CSV / JSON records.
+
+Benches render human-readable tables; downstream analysis (pandas,
+plotting, regression tracking) wants flat records.  ``flatten_result``
+turns one :class:`repro.core.stats.SimulationResult` into a dict of
+scalars; the writers serialise collections of them.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..core.stats import SimulationResult
+
+
+def flatten_result(result: SimulationResult) -> dict:
+    """One flat record per simulation: metrics, energy components, shares."""
+    record: dict = {
+        "configuration": result.configuration,
+        "workload": result.workload,
+        "accesses": result.accesses,
+        "instructions": result.instructions,
+        "l1_misses": result.l1_misses,
+        "l2_misses": result.l2_misses,
+        "l1_mpki": result.l1_mpki,
+        "l2_mpki": result.l2_mpki,
+        "page_walks": result.page_walks,
+        "page_walk_refs": result.page_walk_refs,
+        "range_walk_refs": result.range_walk_refs,
+        "miss_cycles": result.miss_cycles,
+        "energy_total_pj": result.total_energy_pj,
+        "energy_per_access_pj": result.energy_per_access_pj,
+        "lite_intervals": result.lite_intervals,
+    }
+    for component, value in result.energy.by_component.items():
+        record[f"energy_{component}_pj"] = value
+    for name, count in sorted(result.hit_attribution.items()):
+        record[f"hits_{_slug(name)}"] = count
+    for name, stats in sorted(result.structure_stats.items()):
+        record[f"lookups_{_slug(name)}"] = stats.lookups
+    return record
+
+
+def results_to_records(results) -> list[dict]:
+    """Flatten a result collection (a run_matrix dict or an iterable)."""
+    if isinstance(results, dict):
+        iterable: Iterable[SimulationResult] = results.values()
+    else:
+        iterable = results
+    return [flatten_result(result) for result in iterable]
+
+
+def write_csv(path, results) -> Path:
+    """Write flattened results as CSV (union of columns, sorted header)."""
+    records = results_to_records(results)
+    if not records:
+        raise ValueError("no results to export")
+    path = Path(path)
+    columns: list[str] = []
+    seen = set()
+    for record in records:
+        for key in record:
+            if key not in seen:
+                seen.add(key)
+                columns.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+    return path
+
+
+def write_json(path, results) -> Path:
+    """Write flattened results as a JSON array."""
+    records = results_to_records(results)
+    if not records:
+        raise ValueError("no results to export")
+    path = Path(path)
+    path.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _slug(name: str) -> str:
+    return (
+        name.lower()
+        .replace(" ", "_")
+        .replace("(", "")
+        .replace(")", "")
+        .replace("-", "_")
+    )

@@ -1,0 +1,49 @@
+"""Normalisation helpers: the paper reports everything relative to 4KB."""
+
+from __future__ import annotations
+
+import math
+
+from ..core.stats import SimulationResult
+
+
+def normalized_energy(
+    results: dict[tuple[str, str], SimulationResult],
+    workload: str,
+    config: str,
+    baseline: str = "4KB",
+) -> float:
+    """Dynamic energy of a configuration relative to the baseline."""
+    base = results[(workload, baseline)].total_energy_pj
+    if base == 0:
+        return 0.0
+    return results[(workload, config)].total_energy_pj / base
+
+
+def normalized_miss_cycles(
+    results: dict[tuple[str, str], SimulationResult],
+    workload: str,
+    config: str,
+    baseline: str = "4KB",
+) -> float:
+    """TLB-miss cycles of a configuration relative to the baseline."""
+    base = results[(workload, baseline)].miss_cycles
+    if base == 0:
+        return 0.0
+    return results[(workload, config)].miss_cycles / base
+
+
+def average_ratio(ratios: list[float], geometric: bool = False) -> float:
+    """Mean of normalised ratios (the paper reports arithmetic means)."""
+    if not ratios:
+        return 0.0
+    if geometric:
+        if any(ratio <= 0 for ratio in ratios):
+            raise ValueError("geometric mean needs positive ratios")
+        return math.exp(sum(math.log(ratio) for ratio in ratios) / len(ratios))
+    return sum(ratios) / len(ratios)
+
+
+def reduction_percent(ratio: float) -> float:
+    """Convert a normalised ratio into a percentage reduction."""
+    return (1.0 - ratio) * 100.0

@@ -1,0 +1,51 @@
+"""Plain-text rendering of the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Fixed-width text table; floats formatted, everything else str()'d."""
+    formatted_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in formatted_rows:
+        lines.append(" | ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    label: str, points: Sequence[tuple[object, float]], float_format: str = "{:.3f}"
+) -> str:
+    """One figure series as 'label: x=y, x=y, ...' (for bench output)."""
+    rendered = ", ".join(
+        f"{x}={float_format.format(y)}" for x, y in points
+    )
+    return f"{label}: {rendered}"
+
+
+def percent(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100.0:.1f}%"

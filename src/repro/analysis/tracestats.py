@@ -1,0 +1,209 @@
+"""Reference-trace statistics: reuse distances, footprints, TLB estimates.
+
+The quantities that determine TLB behaviour are properties of the page
+reference stream alone; this module computes them directly, which is how
+the synthetic workload models were calibrated and how a user can vet
+their own traces before simulating:
+
+* **LRU reuse distance** — for each access, the number of *distinct*
+  pages touched since the previous access to the same page (∞ for first
+  touches).  A fully-associative LRU TLB of ``n`` entries hits exactly
+  the accesses with distance < n (Mattson's stack property), so the
+  distance histogram predicts hit ratios for every capacity at once.
+* **Footprint curve** — distinct pages per window of the trace, the
+  quantity the paper's Table 4 summarises per workload.
+* **Huge-page spread** — the same statistics at 2 MB granularity, which
+  decide whether THP's 32-entry L1-2MB TLB can hold the working set.
+
+Reuse distances are computed with the classic Fenwick-tree algorithm in
+O(n log n).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class _FenwickTree:
+    """Binary indexed tree over trace positions (prefix sums of markers)."""
+
+    def __init__(self, size: int) -> None:
+        self._tree = [0] * (size + 1)
+        self._size = size
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index <= self._size:
+            self._tree[index] += delta
+            index += index & -index
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of markers at positions [0, index]."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & -index
+        return total
+
+
+#: Histogram bucket used for first touches (infinite reuse distance).
+COLD = -1
+
+
+def reuse_distance_histogram(trace, granularity_pages: int = 1) -> Counter:
+    """LRU stack-distance histogram of a page reference stream.
+
+    ``granularity_pages`` coarsens the trace first (512 for 2 MB-page
+    behaviour).  Returns ``Counter({distance: accesses})`` with first
+    touches under the :data:`COLD` key.
+    """
+    if granularity_pages < 1:
+        raise ValueError("granularity_pages must be >= 1")
+    pages = _as_page_list(trace, granularity_pages)
+    n = len(pages)
+    tree = _FenwickTree(n)
+    last_position: dict[int, int] = {}
+    histogram: Counter = Counter()
+    for position, page in enumerate(pages):
+        previous = last_position.get(page)
+        if previous is None:
+            histogram[COLD] += 1
+        else:
+            # Distinct pages touched strictly between the two accesses.
+            distance = tree.prefix_sum(position - 1) - tree.prefix_sum(previous)
+            histogram[distance] += 1
+            tree.add(previous, -1)
+        tree.add(position, 1)
+        last_position[page] = position
+    return histogram
+
+
+def lru_hit_ratio(histogram: Counter, entries: int) -> float:
+    """Hit ratio of an ``entries``-entry fully-associative LRU cache.
+
+    Mattson: an access hits iff its stack distance is strictly below the
+    capacity.  Exact for the same stream the histogram came from.
+    """
+    if entries < 1:
+        raise ValueError("entries must be >= 1")
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    hits = sum(
+        count
+        for distance, count in histogram.items()
+        if distance != COLD and distance < entries
+    )
+    return hits / total
+
+
+def hit_ratio_curve(histogram: Counter, capacities: list[int]) -> dict[int, float]:
+    """LRU hit ratio at each capacity (one histogram, many sizes)."""
+    return {capacity: lru_hit_ratio(histogram, capacity) for capacity in capacities}
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSummary:
+    """Headline statistics of one reference stream."""
+
+    accesses: int
+    distinct_pages: int
+    distinct_huge_pages: int
+    footprint_mb: float
+    l1_page_hit_estimate: float  # 64-entry fully-assoc LRU estimate
+    l2_page_hit_estimate: float  # 512-entry estimate
+    huge_tlb_hit_estimate: float  # 32-entry estimate at 2 MB granularity
+
+    def render(self) -> str:
+        return (
+            f"{self.accesses} accesses over {self.distinct_pages} pages "
+            f"({self.footprint_mb:.1f} MB, {self.distinct_huge_pages} x 2MB); "
+            f"est. hit ratios: L1(64e) {self.l1_page_hit_estimate:.3f}, "
+            f"L2(512e) {self.l2_page_hit_estimate:.3f}, "
+            f"2MB(32e) {self.huge_tlb_hit_estimate:.3f}"
+        )
+
+
+def summarize_trace(trace) -> TraceSummary:
+    """Compute the headline statistics of a reference stream."""
+    pages = _as_page_list(trace, 1)
+    if not pages:
+        raise ValueError("empty trace")
+    histogram = reuse_distance_histogram(pages)
+    huge_histogram = reuse_distance_histogram(pages, granularity_pages=512)
+    distinct = len(set(pages))
+    distinct_huge = len({page >> 9 for page in pages})
+    return TraceSummary(
+        accesses=len(pages),
+        distinct_pages=distinct,
+        distinct_huge_pages=distinct_huge,
+        footprint_mb=distinct * 4096 / (1 << 20),
+        l1_page_hit_estimate=lru_hit_ratio(histogram, 64),
+        l2_page_hit_estimate=lru_hit_ratio(histogram, 512),
+        huge_tlb_hit_estimate=lru_hit_ratio(huge_histogram, 32),
+    )
+
+
+def footprint_curve(trace, windows: int = 20) -> list[int]:
+    """Distinct pages touched in each of ``windows`` equal trace slices."""
+    if windows < 1:
+        raise ValueError("windows must be >= 1")
+    pages = np.asarray(trace)
+    bounds = np.linspace(0, len(pages), windows + 1, dtype=int)
+    return [
+        int(len(np.unique(pages[start:stop]))) if stop > start else 0
+        for start, stop in zip(bounds, bounds[1:])
+    ]
+
+
+def page_touch_counts(trace) -> Counter:
+    """Accesses per page (popularity profile)."""
+    values, counts = np.unique(np.asarray(trace), return_counts=True)
+    return Counter({int(v): int(c) for v, c in zip(values, counts)})
+
+
+def summarize_by_region(trace, regions: dict[str, object]) -> dict[str, dict]:
+    """Per-VMA access statistics of a reference stream.
+
+    ``regions`` maps names to objects with ``start_vpn``/``num_pages``
+    (``repro.workloads.patterns.Region`` or ``repro.mem.vma.VMA``).
+    Returns, per region: access share, distinct pages touched, and the
+    touched fraction of the region — the numbers behind the workload
+    models' tier structure (docs/workloads.md).
+    """
+    pages = np.asarray(trace)
+    total = len(pages)
+    if total == 0:
+        raise ValueError("empty trace")
+    out: dict[str, dict] = {}
+    matched = 0
+    for name, region in regions.items():
+        start = region.start_vpn
+        end = start + region.num_pages
+        inside = pages[(pages >= start) & (pages < end)]
+        matched += len(inside)
+        distinct = int(len(np.unique(inside)))
+        out[name] = {
+            "accesses": int(len(inside)),
+            "share": len(inside) / total,
+            "distinct_pages": distinct,
+            "touched_fraction": distinct / region.num_pages,
+        }
+    out["<unmapped>"] = {
+        "accesses": total - matched,
+        "share": (total - matched) / total,
+        "distinct_pages": 0,
+        "touched_fraction": 0.0,
+    }
+    return out
+
+
+def _as_page_list(trace, granularity_pages: int) -> list[int]:
+    pages = np.asarray(trace)
+    if granularity_pages > 1:
+        pages = pages // granularity_pages
+    return pages.tolist()

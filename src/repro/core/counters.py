@@ -1,0 +1,61 @@
+"""Lite's LRU-distance counters (paper Section 4.2.1, Figure 6).
+
+For an n-way TLB, Lite keeps ``log2(n) + 1`` counters.  On each hit, the
+counter selected by the hit's LRU *stack position* (recency rank, 0 = MRU)
+is incremented; ranks are grouped in powers of two — {0}, {1}, {2-3},
+{4-7}, … — so the counter index is simply ``rank.bit_length()``.
+
+At the end of an interval, the number of misses that *would have occurred
+with only w active ways* is the actual miss count plus every counter whose
+rank group lies at or beyond w.  Under true-LRU replacement this
+prediction is exact (the stack inclusion property): an access hits a
+w-way set if and only if its rank in the full set is below w.
+
+The counter list itself is a plain Python list handed to the TLB (its
+``hit_rank_counters`` attribute) so the hot lookup path increments it
+inline; this class wraps the list with the decision-side arithmetic.
+"""
+
+from __future__ import annotations
+
+
+def _log2_exact(n: int) -> int:
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+class LRUDistanceCounters:
+    """Utility counters for one TLB monitored by Lite."""
+
+    def __init__(self, max_ways: int) -> None:
+        self.max_ways = max_ways
+        self.raw: list[int] = [0] * (_log2_exact(max_ways) + 1)
+
+    def record(self, rank: int) -> None:
+        """Count one hit at an LRU stack position (tests/manual feeding)."""
+        if not 0 <= rank < self.max_ways:
+            raise ValueError(f"rank {rank} outside [0, {self.max_ways})")
+        self.raw[rank.bit_length()] += 1
+
+    def extra_misses(self, ways: int) -> int:
+        """Hits that would have been misses with only ``ways`` active.
+
+        Sums the counters for every rank group at or beyond ``ways``;
+        those hits landed in stack positions a ``ways``-way set would not
+        hold.
+        """
+        return sum(self.raw[_log2_exact(ways) + 1 :])
+
+    @property
+    def total_hits(self) -> int:
+        """Total hits recorded this interval."""
+        return sum(self.raw)
+
+    def reset(self) -> None:
+        """Zero the counters (start of a new interval)."""
+        for index in range(len(self.raw)):
+            self.raw[index] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LRUDistanceCounters({self.raw})"

@@ -1,0 +1,182 @@
+"""The Lite mechanism: interval-based TLB way-disabling (paper Section 4.2).
+
+Lite divides execution into fixed instruction-count intervals.  During an
+interval it tracks (i) the actual number of L1 TLB misses (the aggregate
+``actual-misses-counter``) and (ii) per-TLB LRU-distance counters
+(:class:`repro.core.counters.LRUDistanceCounters`).  At each interval end
+the decision algorithm (Figure 7) runs:
+
+1. with probability p, re-enable *all* ways of *all* monitored TLBs —
+   Lite cannot reason about inactive ways, so random full activation
+   discovers upside and breaks pathological phase alignment;
+2. otherwise, if this interval's actual MPKI degraded beyond the ε
+   threshold relative to the previous interval, re-enable all ways
+   (phase change / THP breakdown response);
+3. otherwise, for each monitored TLB independently, choose the smallest
+   power-of-two way count whose *predicted* MPKI — actual MPKI plus the
+   misses the distance counters say the disabled ways would have added —
+   stays within ε of the actual MPKI.
+
+Disabling ways invalidates their entries (Section 4.2.3); re-enabled ways
+come up empty.  A TLB is resized down to ``min_ways`` (1 in the paper) but
+never fully disabled.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .counters import LRUDistanceCounters
+from .params import LiteParams
+
+
+class ResizableUnit:
+    """Adapter giving Lite one interface over its two TLB flavours.
+
+    Set-associative TLBs resize by *ways* (``set_active_ways``); fully-
+    associative ones (Section 4.4) resize by *entries*
+    (``set_active_entries``).  Both expose power-of-two capacities.
+    """
+
+    def __init__(self, tlb) -> None:
+        self.tlb = tlb
+        if hasattr(tlb, "set_active_ways"):
+            self.max_units = tlb.ways
+            self._setter = tlb.set_active_ways
+            self._getter = lambda: tlb.active_ways
+        elif hasattr(tlb, "set_active_entries"):
+            self.max_units = tlb.entries
+            self._setter = tlb.set_active_entries
+            self._getter = lambda: tlb.active_entries
+        else:
+            raise TypeError(f"{tlb!r} is not resizable")
+        if self.max_units & (self.max_units - 1):
+            raise ValueError(
+                f"{tlb.name}: capacity {self.max_units} not a power of two"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.tlb.name
+
+    @property
+    def active_units(self) -> int:
+        return self._getter()
+
+    def resize(self, units: int) -> None:
+        if units != self._getter():
+            self._setter(units)
+
+
+@dataclass(frozen=True, slots=True)
+class LiteIntervalRecord:
+    """One interval's outcome, for timelines and the sensitivity benches."""
+
+    instructions_seen: int
+    actual_mpki: float
+    action: str  # 'decide', 'random-reactivate', 'degradation-reactivate'
+    active_units: dict[str, int]
+
+
+@dataclass(slots=True)
+class LiteStats:
+    """Aggregate counts of the controller's actions."""
+
+    intervals: int = 0
+    downsizes: int = 0
+    random_reactivations: int = 0
+    degradation_reactivations: int = 0
+
+
+class LiteController:
+    """Drives Lite over a set of monitored L1-page TLBs.
+
+    The caller (the simulator) invokes :meth:`end_interval` every
+    ``params.interval_instructions`` instructions with the aggregate L1
+    miss count of the interval just ended.
+    """
+
+    def __init__(self, tlbs: list, params: LiteParams, record_history: bool = False) -> None:
+        self.params = params
+        self.units = [ResizableUnit(tlb) for tlb in tlbs]
+        self.counters: dict[str, LRUDistanceCounters] = {}
+        for unit in self.units:
+            counters = LRUDistanceCounters(unit.max_units)
+            unit.tlb.hit_rank_counters = counters.raw
+            self.counters[unit.name] = counters
+        self._rng = random.Random(params.seed)
+        self.previous_mpki: float | None = None
+        self.stats = LiteStats()
+        self.history: list[LiteIntervalRecord] | None = [] if record_history else None
+        self._instructions_seen = 0
+
+    # ------------------------------------------------------------------
+    def end_interval(self, l1_misses: int, instructions: int) -> str:
+        """Run the decision algorithm; returns the action taken."""
+        if instructions <= 0:
+            raise ValueError("interval must cover at least one instruction")
+        self._instructions_seen += instructions
+        actual_mpki = l1_misses * 1000.0 / instructions
+        params = self.params
+        if self._rng.random() < params.reactivate_probability:
+            action = "random-reactivate"
+            self._activate_all()
+            self.stats.random_reactivations += 1
+        elif (
+            self.previous_mpki is not None
+            and actual_mpki > params.threshold(self.previous_mpki)
+        ):
+            action = "degradation-reactivate"
+            self._activate_all()
+            self.stats.degradation_reactivations += 1
+        else:
+            action = "decide"
+            for unit in self.units:
+                self._decide(unit, actual_mpki, instructions)
+        self.stats.intervals += 1
+        self.previous_mpki = actual_mpki
+        for counters in self.counters.values():
+            counters.reset()
+        if self.history is not None:
+            self.history.append(
+                LiteIntervalRecord(
+                    instructions_seen=self._instructions_seen,
+                    actual_mpki=actual_mpki,
+                    action=action,
+                    active_units={u.name: u.active_units for u in self.units},
+                )
+            )
+        return action
+
+    # ------------------------------------------------------------------
+    def _activate_all(self) -> None:
+        for unit in self.units:
+            unit.resize(unit.max_units)
+
+    def _decide(self, unit: ResizableUnit, actual_mpki: float, instructions: int) -> None:
+        """Pick the smallest way count within ε of the actual MPKI.
+
+        The predicted extra misses grow monotonically as ways shrink, so
+        the scan halves the way count until the threshold is exceeded.
+        """
+        counters = self.counters[unit.name]
+        threshold = self.params.threshold(actual_mpki)
+        chosen = unit.active_units
+        candidate = chosen // 2
+        while candidate >= self.params.min_ways:
+            predicted_mpki = (
+                actual_mpki + counters.extra_misses(candidate) * 1000.0 / instructions
+            )
+            if predicted_mpki > threshold:
+                break
+            chosen = candidate
+            candidate //= 2
+        if chosen != unit.active_units:
+            self.stats.downsizes += 1
+            unit.resize(chosen)
+
+    # ------------------------------------------------------------------
+    def active_configuration(self) -> dict[str, int]:
+        """Current active units per monitored TLB."""
+        return {unit.name: unit.active_units for unit in self.units}

@@ -1,0 +1,711 @@
+"""Builders for the paper's six simulated configurations (Section 5, Fig. 9).
+
+==========  =====================================  ==========================
+Name        TLB organization                       OS paging policy
+==========  =====================================  ==========================
+4KB         L1-4KB ∥ (L1-2MB, L1-1GB: off), L2     demand 4 KB paging
+THP         + L1-2MB enabled                       transparent huge pages
+TLB_Lite    THP + Lite on the L1-page TLBs         transparent huge pages
+RMM         THP + 32-entry L2-range TLB            eager paging (THP layout)
+TLB_PP      single mixed L1/L2, perfect predictor  transparent huge pages
+RMM_Lite    L1-4KB (Lite) ∥ 4-entry L1-range,      eager paging (4 KB layout)
+            L2-4KB ∥ L2-range
+==========  =====================================  ==========================
+
+Each builder wires the hierarchy to a populated :class:`repro.mem.Process`
+and produces the energy bindings that map every structure's per-way access
+histogram onto Table 2 parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy.cacti import (
+    MMU_CACHE_PDE,
+    EnergyParams,
+    fully_assoc_params,
+    mixed_fa_tlb_params,
+    page_tlb_params,
+)
+from ..energy.model import EnergyBinding
+from ..mem.paging import DemandPaging, EagerPaging, PagingPolicy, TransparentHugePaging
+from ..mem.process import Process
+from ..mmu.mmu_cache import MMUCache
+from ..mmu.translation import PageSize
+from ..mmu.walker import PageWalker
+from ..tlb.banked import BankedSetAssociativeTLB
+from ..tlb.fully_assoc import FullyAssociativeTLB
+from ..tlb.mixed_fa import MixedFullyAssociativeTLB
+from ..tlb.range_tlb import RangeTLB
+from ..tlb.semantic import SemanticPartitionedTLB, classify_by_vma
+from ..tlb.set_assoc import SetAssociativeTLB
+from .hierarchy import (
+    BaseHierarchy,
+    FullyAssociativeL1Hierarchy,
+    L0FilterHierarchy,
+    L1Slot,
+    MixedTLBHierarchy,
+    PredictedMixedHierarchy,
+    TLBHierarchy,
+)
+from .lite import LiteController
+from .params import (
+    RMM_LITE_PARAMS,
+    TLB_LITE_PARAMS,
+    ConfigurationSummary,
+    HierarchyParams,
+    LiteParams,
+)
+
+#: Canonical configuration order used throughout figures and tables.
+CONFIG_NAMES = ("4KB", "THP", "TLB_Lite", "RMM", "TLB_PP", "RMM_Lite")
+
+#: Extensions beyond the paper's six evaluated configurations:
+#: FA_Lite — the Section 4.4 SPARC/AMD-style fully-associative L1 with
+#: Lite capacity-resizing; RMM_PP_Lite — the Section 6.1 "orthogonal,
+#: combined" design (TLB_PP for pages + L1-range TLB for ranges + Lite).
+#: L0_Filter / L0_Lite — the Section 7 related-work baseline (a tiny L0
+#: TLB filtering the L1 probes), alone and combined with Lite.
+#: TLB_Pred — TLB_PP with a *realistic* (fallible, direct-mapped
+#: last-size) predictor, quantifying the cost TLB_PP's idealisation hides.
+#: Banked — the Section 7 banked-TLB baseline (probe one bank per access).
+EXTENDED_CONFIG_NAMES = CONFIG_NAMES + (
+    "FA_Lite",
+    "RMM_PP_Lite",
+    "L0_Filter",
+    "L0_Lite",
+    "TLB_Pred",
+    "Banked",
+    "Semantic",
+)
+
+
+@dataclass(slots=True)
+class Organization:
+    """A fully wired configuration ready to simulate."""
+
+    name: str
+    hierarchy: BaseHierarchy
+    bindings: list[EnergyBinding]
+    lite: LiteController | None
+    summary: ConfigurationSummary
+
+
+# ----------------------------------------------------------------------
+# Energy-binding helpers
+# ----------------------------------------------------------------------
+def _sa_binding(tlb: SetAssociativeTLB, component: str) -> EnergyBinding:
+    """Set-associative TLB: way-disabling keeps sets constant (Table 2)."""
+    sets = tlb.num_sets
+    return EnergyBinding(
+        tlb.name, component, tlb.stats, lambda ways: page_tlb_params(sets * ways, ways)
+    )
+
+
+def _fa_binding(tlb: FullyAssociativeTLB, component: str) -> EnergyBinding:
+    return EnergyBinding(
+        tlb.name, component, tlb.stats, lambda units: fully_assoc_params(units)
+    )
+
+
+def _range_binding(tlb: RangeTLB, component: str) -> EnergyBinding:
+    return EnergyBinding(
+        tlb.name,
+        component,
+        tlb.stats,
+        lambda units: fully_assoc_params(units, range_tags=True),
+    )
+
+
+def _constant_binding(structure, component: str, params: EnergyParams) -> EnergyBinding:
+    return EnergyBinding(structure.name, component, structure.stats, lambda _units: params)
+
+
+def _mmu_cache_bindings(mmu_cache: MMUCache) -> list[EnergyBinding]:
+    return [
+        _constant_binding(mmu_cache.pde, "mmu_cache", MMU_CACHE_PDE),
+        _fa_binding(mmu_cache.pdpte, "mmu_cache"),
+        _fa_binding(mmu_cache.pml4, "mmu_cache"),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Structure factories
+# ----------------------------------------------------------------------
+def _paged_l1_slots(params: HierarchyParams) -> list[L1Slot]:
+    """The Figure 1 baseline: separate L1 TLBs for 4 KB / 2 MB / 1 GB."""
+    return [
+        L1Slot(
+            SetAssociativeTLB("L1-4KB", params.l1_4kb.entries, params.l1_4kb.ways),
+            PageSize.SIZE_4KB,
+        ),
+        L1Slot(
+            SetAssociativeTLB("L1-2MB", params.l1_2mb.entries, params.l1_2mb.ways),
+            PageSize.SIZE_2MB,
+        ),
+        L1Slot(
+            FullyAssociativeTLB("L1-1GB", params.l1_1gb_entries),
+            PageSize.SIZE_1GB,
+        ),
+    ]
+
+
+def _l2_page_tlb(params: HierarchyParams) -> SetAssociativeTLB:
+    return SetAssociativeTLB("L2-4KB", params.l2_page.entries, params.l2_page.ways)
+
+
+def _paged_bindings(hierarchy: TLBHierarchy) -> list[EnergyBinding]:
+    bindings: list[EnergyBinding] = []
+    for slot in hierarchy.l1_slots:
+        if isinstance(slot.tlb, SetAssociativeTLB):
+            bindings.append(_sa_binding(slot.tlb, "l1_page_tlbs"))
+        else:
+            bindings.append(_fa_binding(slot.tlb, "l1_page_tlbs"))
+    bindings.append(_sa_binding(hierarchy.l2_page, "l2_page_tlb"))
+    if hierarchy.l1_range is not None:
+        bindings.append(_range_binding(hierarchy.l1_range, "l1_range_tlb"))
+    if hierarchy.l2_range is not None:
+        bindings.append(_range_binding(hierarchy.l2_range, "l2_range_tlb"))
+    bindings.extend(_mmu_cache_bindings(hierarchy.walker.mmu_cache))
+    return bindings
+
+
+# ----------------------------------------------------------------------
+# Configuration builders
+# ----------------------------------------------------------------------
+def build_4kb(process: Process, params: HierarchyParams | None = None) -> Organization:
+    """Baseline: 4 KB pages only; huge-page L1 TLBs never enable."""
+    params = params or HierarchyParams()
+    hierarchy = TLBHierarchy(
+        _paged_l1_slots(params), _l2_page_tlb(params), PageWalker(process.page_table)
+    )
+    summary = ConfigurationSummary(
+        "4KB",
+        ("4KB",),
+        (
+            f"L1-4KB {params.l1_4kb.entries}e/{params.l1_4kb.ways}w",
+            f"L2-4KB {params.l2_page.entries}e/{params.l2_page.ways}w",
+        ),
+        notes="huge-page L1 TLBs statically disabled",
+    )
+    return Organization("4KB", hierarchy, _paged_bindings(hierarchy), None, summary)
+
+
+def build_thp(process: Process, params: HierarchyParams | None = None) -> Organization:
+    """Transparent huge pages: the state of the practice (Section 5)."""
+    params = params or HierarchyParams()
+    hierarchy = TLBHierarchy(
+        _paged_l1_slots(params), _l2_page_tlb(params), PageWalker(process.page_table)
+    )
+    summary = ConfigurationSummary(
+        "THP",
+        ("4KB", "2MB"),
+        (
+            f"L1-4KB {params.l1_4kb.entries}e/{params.l1_4kb.ways}w",
+            f"L1-2MB {params.l1_2mb.entries}e/{params.l1_2mb.ways}w",
+            f"L2-4KB {params.l2_page.entries}e/{params.l2_page.ways}w",
+        ),
+    )
+    return Organization("THP", hierarchy, _paged_bindings(hierarchy), None, summary)
+
+
+def _lite_controller(
+    hierarchy: TLBHierarchy, lite_params: LiteParams, record_history: bool
+) -> LiteController:
+    """Attach Lite to every resizable L1-page TLB.
+
+    The paper resizes "all L1-page TLBs (4KB, 2MB, and 1GB)"; the 4-entry
+    fully-associative L1-1GB TLB is resized by capacity in powers of two
+    (Section 4.4 semantics).  For workloads that never touch 1 GB pages
+    the structure is statically disabled anyway, so monitoring it is
+    free.
+    """
+    monitored = [slot.tlb for slot in hierarchy.l1_slots]
+    return LiteController(monitored, lite_params, record_history=record_history)
+
+
+def build_tlb_lite(
+    process: Process,
+    params: HierarchyParams | None = None,
+    lite_params: LiteParams = TLB_LITE_PARAMS,
+    record_history: bool = False,
+) -> Organization:
+    """TLB_Lite: THP hierarchy + the Lite way-disabling mechanism."""
+    organization = build_thp(process, params)
+    lite = _lite_controller(organization.hierarchy, lite_params, record_history)
+    summary = ConfigurationSummary(
+        "TLB_Lite",
+        organization.summary.page_sizes,
+        organization.summary.structures,
+        lite=(
+            f"interval {lite_params.interval_instructions} instr, "
+            f"ε {lite_params.threshold_mode}"
+        ),
+    )
+    return Organization(
+        "TLB_Lite", organization.hierarchy, organization.bindings, lite, summary
+    )
+
+
+def build_rmm(process: Process, params: HierarchyParams | None = None) -> Organization:
+    """RMM: THP hierarchy + 32-entry fully-associative L2-range TLB."""
+    params = params or HierarchyParams()
+    if len(process.range_table) == 0:
+        raise ValueError("RMM needs an eager-paged process (empty range table)")
+    hierarchy = TLBHierarchy(
+        _paged_l1_slots(params),
+        _l2_page_tlb(params),
+        PageWalker(process.page_table),
+        l2_range=RangeTLB("L2-range", params.l2_range_entries),
+        range_table=process.range_table,
+    )
+    summary = ConfigurationSummary(
+        "RMM",
+        ("4KB", "2MB", "range"),
+        (
+            f"L1-4KB {params.l1_4kb.entries}e/{params.l1_4kb.ways}w",
+            f"L1-2MB {params.l1_2mb.entries}e/{params.l1_2mb.ways}w",
+            f"L2-4KB {params.l2_page.entries}e/{params.l2_page.ways}w",
+            f"L2-range {params.l2_range_entries}e fully assoc",
+        ),
+        notes="perfect eager paging",
+    )
+    return Organization("RMM", hierarchy, _paged_bindings(hierarchy), None, summary)
+
+
+def build_tlb_pp(process: Process, params: HierarchyParams | None = None) -> Organization:
+    """TLB_PP: perfect TLB_Pred — mixed-size L1/L2, free perfect predictor.
+
+    The mixed L1 keeps the L1-4KB geometry (64 entries, 4-way) and is
+    charged L1-4KB energy per lookup; the perfect predictor itself costs
+    nothing.  As the paper notes, this under-reports TLB_Pred's true cost
+    by design ("unrealizable in practice").
+    """
+    params = params or HierarchyParams()
+    huge_chunks = set()
+    for translation in process.page_table.iter_translations():
+        if translation.page_size is PageSize.SIZE_1GB:
+            raise ValueError("TLB_PP models 4KB and 2MB pages only")
+        if translation.page_size is PageSize.SIZE_2MB:
+            huge_chunks.add(translation.vpn >> 9)
+    l1_mixed = SetAssociativeTLB("L1-mixed", params.l1_4kb.entries, params.l1_4kb.ways)
+    l2_mixed = SetAssociativeTLB("L2-mixed", params.l2_page.entries, params.l2_page.ways)
+    hierarchy = MixedTLBHierarchy(
+        l1_mixed, l2_mixed, PageWalker(process.page_table), frozenset(huge_chunks)
+    )
+    bindings = [
+        _sa_binding(l1_mixed, "l1_page_tlbs"),
+        _sa_binding(l2_mixed, "l2_page_tlb"),
+        *_mmu_cache_bindings(hierarchy.walker.mmu_cache),
+    ]
+    summary = ConfigurationSummary(
+        "TLB_PP",
+        ("4KB", "2MB"),
+        (
+            f"L1-mixed {params.l1_4kb.entries}e/{params.l1_4kb.ways}w",
+            f"L2-mixed {params.l2_page.entries}e/{params.l2_page.ways}w",
+        ),
+        notes="perfect, zero-energy page-size predictor",
+    )
+    return Organization("TLB_PP", hierarchy, bindings, None, summary)
+
+
+def build_rmm_lite(
+    process: Process,
+    params: HierarchyParams | None = None,
+    lite_params: LiteParams = RMM_LITE_PARAMS,
+    record_history: bool = False,
+) -> Organization:
+    """RMM_Lite: 4 KB pages + ranges at both levels, Lite on the L1-4KB.
+
+    The huge-page L1 TLBs are replaced by the L1-range TLB (Section 4.3),
+    so the process must be eager-paged with a 4 KB redundant layout.
+    """
+    params = params or HierarchyParams()
+    if len(process.range_table) == 0:
+        raise ValueError("RMM_Lite needs an eager-paged process (empty range table)")
+    l1_4kb = SetAssociativeTLB("L1-4KB", params.l1_4kb.entries, params.l1_4kb.ways)
+    hierarchy = TLBHierarchy(
+        [L1Slot(l1_4kb, PageSize.SIZE_4KB)],
+        _l2_page_tlb(params),
+        PageWalker(process.page_table),
+        l1_range=RangeTLB("L1-range", params.l1_range_entries),
+        l2_range=RangeTLB("L2-range", params.l2_range_entries),
+        range_table=process.range_table,
+    )
+    lite = LiteController([l1_4kb], lite_params, record_history=record_history)
+    summary = ConfigurationSummary(
+        "RMM_Lite",
+        ("4KB", "range"),
+        (
+            f"L1-4KB {params.l1_4kb.entries}e/{params.l1_4kb.ways}w",
+            f"L1-range {params.l1_range_entries}e fully assoc",
+            f"L2-4KB {params.l2_page.entries}e/{params.l2_page.ways}w",
+            f"L2-range {params.l2_range_entries}e fully assoc",
+        ),
+        lite=f"absolute ε {lite_params.epsilon_absolute} MPKI",
+        notes="perfect eager paging; L1 huge-page TLBs replaced by L1-range",
+    )
+    return Organization(
+        "RMM_Lite", hierarchy, _paged_bindings(hierarchy), lite, summary
+    )
+
+
+def build_fa_lite(
+    process: Process,
+    params: HierarchyParams | None = None,
+    lite_params: LiteParams = TLB_LITE_PARAMS,
+    fa_entries: int = 64,
+    record_history: bool = False,
+) -> Organization:
+    """FA_Lite: single fully-associative mixed L1 TLB + Lite (Section 4.4).
+
+    The SPARC/AMD-style organization: one masked-CAM L1 holds 4 KB and
+    2 MB translations together, so each access probes a single structure;
+    Lite resizes its capacity in powers of two.
+    """
+    params = params or HierarchyParams()
+    l1_fa = MixedFullyAssociativeTLB("L1-FA", fa_entries)
+    hierarchy = FullyAssociativeL1Hierarchy(
+        l1_fa, _l2_page_tlb(params), PageWalker(process.page_table)
+    )
+    bindings = [
+        EnergyBinding(
+            l1_fa.name, "l1_page_tlbs", l1_fa.stats, lambda units: mixed_fa_tlb_params(units)
+        ),
+        _sa_binding(hierarchy.l2_page, "l2_page_tlb"),
+        *_mmu_cache_bindings(hierarchy.walker.mmu_cache),
+    ]
+    lite = LiteController([l1_fa], lite_params, record_history=record_history)
+    summary = ConfigurationSummary(
+        "FA_Lite",
+        ("4KB", "2MB"),
+        (
+            f"L1-FA {fa_entries}e fully assoc (all page sizes)",
+            f"L2-4KB {params.l2_page.entries}e/{params.l2_page.ways}w",
+        ),
+        lite="capacity resizing in powers of two (Section 4.4)",
+    )
+    return Organization("FA_Lite", hierarchy, bindings, lite, summary)
+
+
+def build_rmm_pp_lite(
+    process: Process,
+    params: HierarchyParams | None = None,
+    lite_params: LiteParams = RMM_LITE_PARAMS,
+    record_history: bool = False,
+) -> Organization:
+    """RMM_PP_Lite: the combined design the paper proposes (Section 6.1).
+
+    "RMM_Lite and TLB_PP are orthogonal; a combined approach could use
+    the L1-range TLB for range translations, the TLB_PP for pages, and
+    the Lite mechanism to disable ways opportunistically."
+    """
+    params = params or HierarchyParams()
+    if len(process.range_table) == 0:
+        raise ValueError("RMM_PP_Lite needs an eager-paged process")
+    huge_chunks = set()
+    for translation in process.page_table.iter_translations():
+        if translation.page_size is PageSize.SIZE_2MB:
+            huge_chunks.add(translation.vpn >> 9)
+    l1_mixed = SetAssociativeTLB("L1-mixed", params.l1_4kb.entries, params.l1_4kb.ways)
+    l2_mixed = SetAssociativeTLB("L2-mixed", params.l2_page.entries, params.l2_page.ways)
+    hierarchy = MixedTLBHierarchy(
+        l1_mixed,
+        l2_mixed,
+        PageWalker(process.page_table),
+        frozenset(huge_chunks),
+        l1_range=RangeTLB("L1-range", params.l1_range_entries),
+        l2_range=RangeTLB("L2-range", params.l2_range_entries),
+        range_table=process.range_table,
+    )
+    lite = LiteController([l1_mixed], lite_params, record_history=record_history)
+    bindings = [
+        _sa_binding(l1_mixed, "l1_page_tlbs"),
+        _sa_binding(l2_mixed, "l2_page_tlb"),
+        _range_binding(hierarchy.l1_range, "l1_range_tlb"),
+        _range_binding(hierarchy.l2_range, "l2_range_tlb"),
+        *_mmu_cache_bindings(hierarchy.walker.mmu_cache),
+    ]
+    summary = ConfigurationSummary(
+        "RMM_PP_Lite",
+        ("4KB", "2MB", "range"),
+        (
+            f"L1-mixed {params.l1_4kb.entries}e/{params.l1_4kb.ways}w (perfect predictor)",
+            f"L1-range {params.l1_range_entries}e fully assoc",
+            f"L2-mixed {params.l2_page.entries}e/{params.l2_page.ways}w",
+            f"L2-range {params.l2_range_entries}e fully assoc",
+        ),
+        lite=f"absolute ε {lite_params.epsilon_absolute} MPKI",
+        notes="combined TLB_PP + RMM_Lite (paper Section 6.1 future work)",
+    )
+    return Organization("RMM_PP_Lite", hierarchy, bindings, lite, summary)
+
+
+def build_l0_filter(
+    process: Process,
+    params: HierarchyParams | None = None,
+    lite_params: LiteParams | None = None,
+    l0_entries: int = 8,
+    record_history: bool = False,
+) -> Organization:
+    """L0_Filter / L0_Lite: TLB filtering (paper Section 7 related work).
+
+    A small fully-associative mixed-size L0 TLB is probed before the L1
+    TLBs; only L0 misses pay the parallel L1 probe energy.  With
+    ``lite_params`` the Lite mechanism additionally resizes the L1-page
+    TLBs behind the filter — the combination the paper argues is possible
+    because the approaches are orthogonal.
+    """
+    params = params or HierarchyParams()
+    l0 = MixedFullyAssociativeTLB("L0-filter", l0_entries)
+    hierarchy = L0FilterHierarchy(
+        _paged_l1_slots(params),
+        _l2_page_tlb(params),
+        PageWalker(process.page_table),
+        l0=l0,
+    )
+    bindings = _paged_bindings(hierarchy)
+    bindings.insert(
+        0,
+        EnergyBinding(
+            l0.name, "l1_page_tlbs", l0.stats, lambda units: mixed_fa_tlb_params(units)
+        ),
+    )
+    lite = None
+    name = "L0_Filter"
+    if lite_params is not None:
+        lite = _lite_controller(hierarchy, lite_params, record_history)
+        name = "L0_Lite"
+    summary = ConfigurationSummary(
+        name,
+        ("4KB", "2MB"),
+        (
+            f"L0-filter {l0_entries}e fully assoc (all page sizes)",
+            f"L1-4KB {params.l1_4kb.entries}e/{params.l1_4kb.ways}w",
+            f"L1-2MB {params.l1_2mb.entries}e/{params.l1_2mb.ways}w",
+            f"L2-4KB {params.l2_page.entries}e/{params.l2_page.ways}w",
+        ),
+        lite=None if lite is None else "on the L1-page TLBs behind the filter",
+        notes="TLB filtering baseline (Xue et al. / filtering line of work)",
+    )
+    return Organization(name, hierarchy, bindings, lite, summary)
+
+
+def build_tlb_pred(
+    process: Process,
+    params: HierarchyParams | None = None,
+    predictor_entries: int = 512,
+) -> Organization:
+    """TLB_Pred with a realistic predictor (paper Section 6.1 caveat).
+
+    Same mixed L1/L2 geometry as TLB_PP, but the page-size predictor is a
+    direct-mapped last-size table: mispredictions cost a second L1 probe
+    (energy) and a retry (timing, counted as an L1 miss).
+    """
+    params = params or HierarchyParams()
+    huge_chunks = set()
+    for translation in process.page_table.iter_translations():
+        if translation.page_size is PageSize.SIZE_1GB:
+            raise ValueError("TLB_Pred models 4KB and 2MB pages only")
+        if translation.page_size is PageSize.SIZE_2MB:
+            huge_chunks.add(translation.vpn >> 9)
+    l1_mixed = SetAssociativeTLB("L1-mixed", params.l1_4kb.entries, params.l1_4kb.ways)
+    l2_mixed = SetAssociativeTLB("L2-mixed", params.l2_page.entries, params.l2_page.ways)
+    hierarchy = PredictedMixedHierarchy(
+        l1_mixed,
+        l2_mixed,
+        PageWalker(process.page_table),
+        frozenset(huge_chunks),
+        predictor_entries=predictor_entries,
+    )
+    bindings = [
+        _sa_binding(l1_mixed, "l1_page_tlbs"),
+        _sa_binding(l2_mixed, "l2_page_tlb"),
+        *_mmu_cache_bindings(hierarchy.walker.mmu_cache),
+    ]
+    summary = ConfigurationSummary(
+        "TLB_Pred",
+        ("4KB", "2MB"),
+        (
+            f"L1-mixed {params.l1_4kb.entries}e/{params.l1_4kb.ways}w",
+            f"L2-mixed {params.l2_page.entries}e/{params.l2_page.ways}w",
+            f"size predictor {predictor_entries}e direct-mapped",
+        ),
+        notes="realistic (fallible) page-size predictor",
+    )
+    return Organization("TLB_Pred", hierarchy, bindings, None, summary)
+
+
+def build_banked(
+    process: Process,
+    params: HierarchyParams | None = None,
+    banks: int = 4,
+) -> Organization:
+    """Banked baseline (paper Section 7): probe one L1-4KB bank per access.
+
+    The L1-4KB TLB is split into ``banks`` independently probed banks;
+    each lookup pays the read energy of the bank-sized structure (a
+    quarter of the TLB for 4 banks) at the cost of bank-conflict
+    pressure.  The other structures match the THP configuration.
+    """
+    params = params or HierarchyParams()
+    banked = BankedSetAssociativeTLB(
+        "L1-4KB", params.l1_4kb.entries, params.l1_4kb.ways, banks
+    )
+    slots = [
+        L1Slot(banked, PageSize.SIZE_4KB),
+        L1Slot(
+            SetAssociativeTLB("L1-2MB", params.l1_2mb.entries, params.l1_2mb.ways),
+            PageSize.SIZE_2MB,
+        ),
+        L1Slot(FullyAssociativeTLB("L1-1GB", params.l1_1gb_entries), PageSize.SIZE_1GB),
+    ]
+    hierarchy = TLBHierarchy(slots, _l2_page_tlb(params), PageWalker(process.page_table))
+    bank_sets = banked.bank_entries // params.l1_4kb.ways
+    bindings = [
+        EnergyBinding(
+            banked.name,
+            "l1_page_tlbs",
+            banked.stats,
+            lambda ways: page_tlb_params(bank_sets * ways, ways),
+        ),
+        _sa_binding(slots[1].tlb, "l1_page_tlbs"),
+        _fa_binding(slots[2].tlb, "l1_page_tlbs"),
+        _sa_binding(hierarchy.l2_page, "l2_page_tlb"),
+        *_mmu_cache_bindings(hierarchy.walker.mmu_cache),
+    ]
+    summary = ConfigurationSummary(
+        "Banked",
+        ("4KB", "2MB"),
+        (
+            f"L1-4KB {params.l1_4kb.entries}e/{params.l1_4kb.ways}w in {banks} banks "
+            f"({banked.bank_entries}e probed per access)",
+            f"L1-2MB {params.l1_2mb.entries}e/{params.l1_2mb.ways}w",
+            f"L2-4KB {params.l2_page.entries}e/{params.l2_page.ways}w",
+        ),
+        notes="banked-TLB baseline (Section 7 related work)",
+    )
+    return Organization("Banked", hierarchy, bindings, None, summary)
+
+
+def build_semantic(
+    process: Process,
+    params: HierarchyParams | None = None,
+) -> Organization:
+    """Semantic baseline (paper Section 7): partitioned L1-4KB TLB.
+
+    Lee/Ballapuram-style: the 64-entry L1-4KB TLB splits into a 16-entry
+    stack partition, a 16-entry globals partition, and a 32-entry heap
+    partition; each access probes only its semantic partition (the class
+    is known from the region, no prediction needed).  Other structures
+    match THP.
+    """
+    params = params or HierarchyParams()
+    partitions = [
+        SetAssociativeTLB("L1-4KB-stack", 16, params.l1_4kb.ways),
+        SetAssociativeTLB("L1-4KB-globals", 16, params.l1_4kb.ways),
+        SetAssociativeTLB("L1-4KB-heap", 32, params.l1_4kb.ways),
+    ]
+    partitioned = SemanticPartitionedTLB(
+        "L1-4KB", partitions, classify_by_vma(process.address_space)
+    )
+    slots = [
+        L1Slot(partitioned, PageSize.SIZE_4KB),
+        L1Slot(
+            SetAssociativeTLB("L1-2MB", params.l1_2mb.entries, params.l1_2mb.ways),
+            PageSize.SIZE_2MB,
+        ),
+        L1Slot(FullyAssociativeTLB("L1-1GB", params.l1_1gb_entries), PageSize.SIZE_1GB),
+    ]
+    hierarchy = TLBHierarchy(slots, _l2_page_tlb(params), PageWalker(process.page_table))
+    bindings = [
+        _sa_binding(partition, "l1_page_tlbs") for partition in partitions
+    ] + [
+        _sa_binding(slots[1].tlb, "l1_page_tlbs"),
+        _fa_binding(slots[2].tlb, "l1_page_tlbs"),
+        _sa_binding(hierarchy.l2_page, "l2_page_tlb"),
+        *_mmu_cache_bindings(hierarchy.walker.mmu_cache),
+    ]
+    summary = ConfigurationSummary(
+        "Semantic",
+        ("4KB", "2MB"),
+        (
+            "L1-4KB partitioned: stack 16e + globals 16e + heap 32e "
+            f"({params.l1_4kb.ways}-way each, one partition probed per access)",
+            f"L1-2MB {params.l1_2mb.entries}e/{params.l1_2mb.ways}w",
+            f"L2-4KB {params.l2_page.entries}e/{params.l2_page.ways}w",
+        ),
+        notes="semantic-region partitioning baseline (Section 7 related work)",
+    )
+    return Organization("Semantic", hierarchy, bindings, None, summary)
+
+
+# ----------------------------------------------------------------------
+# Dispatch table: builder + the OS paging policy each configuration assumes
+# ----------------------------------------------------------------------
+def paging_policy_for(config_name: str, thp_coverage: float = 1.0) -> PagingPolicy:
+    """The OS allocation policy a configuration assumes (Section 5)."""
+    if config_name == "4KB":
+        return DemandPaging()
+    if config_name in ("THP", "TLB_Lite", "TLB_PP"):
+        return TransparentHugePaging(coverage=thp_coverage)
+    if config_name == "RMM":
+        return EagerPaging(page_layout="thp")
+    if config_name == "RMM_Lite":
+        return EagerPaging(page_layout="4kb")
+    if config_name == "FA_Lite":
+        return TransparentHugePaging(coverage=thp_coverage)
+    if config_name == "RMM_PP_Lite":
+        return EagerPaging(page_layout="thp")
+    if config_name in ("L0_Filter", "L0_Lite", "TLB_Pred", "Banked", "Semantic"):
+        return TransparentHugePaging(coverage=thp_coverage)
+    raise KeyError(f"unknown configuration {config_name!r}")
+
+
+def build_organization(
+    config_name: str,
+    process: Process,
+    params: HierarchyParams | None = None,
+    lite_params: LiteParams | None = None,
+    record_history: bool = False,
+) -> Organization:
+    """Build any named configuration against a populated process."""
+    if config_name == "4KB":
+        return build_4kb(process, params)
+    if config_name == "THP":
+        return build_thp(process, params)
+    if config_name == "TLB_Lite":
+        return build_tlb_lite(
+            process, params, lite_params or TLB_LITE_PARAMS, record_history
+        )
+    if config_name == "RMM":
+        return build_rmm(process, params)
+    if config_name == "TLB_PP":
+        return build_tlb_pp(process, params)
+    if config_name == "RMM_Lite":
+        return build_rmm_lite(
+            process, params, lite_params or RMM_LITE_PARAMS, record_history
+        )
+    if config_name == "FA_Lite":
+        return build_fa_lite(
+            process, params, lite_params or TLB_LITE_PARAMS, record_history=record_history
+        )
+    if config_name == "RMM_PP_Lite":
+        return build_rmm_pp_lite(
+            process, params, lite_params or RMM_LITE_PARAMS, record_history
+        )
+    if config_name == "L0_Filter":
+        return build_l0_filter(process, params, None, record_history=record_history)
+    if config_name == "L0_Lite":
+        return build_l0_filter(
+            process, params, lite_params or TLB_LITE_PARAMS, record_history=record_history
+        )
+    if config_name == "TLB_Pred":
+        return build_tlb_pred(process, params)
+    if config_name == "Banked":
+        return build_banked(process, params)
+    if config_name == "Semantic":
+        return build_semantic(process, params)
+    raise KeyError(f"unknown configuration {config_name!r}")

@@ -1,0 +1,186 @@
+"""Trace-driven MMU simulator (the paper's Pin-based infrastructure).
+
+Feeds a virtual-page reference stream through an
+:class:`repro.core.organizations.Organization`, handling:
+
+* **fast-forward** — a warm-up prefix that exercises the hierarchy (and
+  Lite) but is excluded from all measurements, mirroring the paper's
+  50 G-instruction fast-forward;
+* **Lite intervals** — the controller's ``end_interval`` fires every
+  ``interval_instructions`` (converted to accesses via the workload's
+  instructions-per-memory-operation ratio);
+* **timeline sampling** — windowed aggregate L1 MPKI for Figure 4-style
+  plots, annotated with Lite's active configuration.
+
+Instruction counts derive from the access count times the workload's
+``instructions_per_access`` ratio — the reference streams carry no
+instruction semantics, only their density relative to memory operations.
+"""
+
+from __future__ import annotations
+
+from ..energy.model import EnergyModel
+from ..energy.performance import miss_cycles
+from .organizations import Organization
+from .params import SimulationParams
+from .stats import SimulationResult, TimelineSample
+
+
+class Simulator:
+    """Runs reference traces through one configuration."""
+
+    def __init__(
+        self,
+        organization: Organization,
+        workload_name: str = "workload",
+        instructions_per_access: float = 3.0,
+        sim_params: SimulationParams | None = None,
+        energy_model: EnergyModel | None = None,
+    ) -> None:
+        if instructions_per_access <= 0:
+            raise ValueError("instructions_per_access must be positive")
+        self.organization = organization
+        self.workload_name = workload_name
+        self.instructions_per_access = instructions_per_access
+        self.sim_params = sim_params or SimulationParams()
+        self.energy_model = energy_model or EnergyModel(
+            walk_l1_hit_ratio=self.sim_params.walk_l1_hit_ratio
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace,
+        fast_forward_accesses: int | None = None,
+        events: list[tuple[int, object]] | None = None,
+    ) -> SimulationResult:
+        """Simulate a trace; returns measurements for the post-warmup part.
+
+        ``trace`` is any sequence of 4 KB virtual page numbers (a numpy
+        integer array or a list).  ``fast_forward_accesses`` overrides the
+        default warm-up fraction.
+
+        ``events`` schedules OS-level actions mid-run: a list of
+        ``(access_index, callable)`` pairs, fired once the simulation
+        reaches that trace position (e.g. huge-page breakdown under
+        memory pressure, or a context-switch TLB flush).  The callable
+        receives the organization.
+        """
+        vpns = trace.tolist() if hasattr(trace, "tolist") else list(trace)
+        total = len(vpns)
+        if total == 0:
+            raise ValueError("empty trace")
+        if fast_forward_accesses is None:
+            fast_forward_accesses = int(total * self.sim_params.fast_forward_fraction)
+        if not 0 <= fast_forward_accesses < total:
+            raise ValueError("fast-forward must leave accesses to measure")
+
+        hierarchy = self.organization.hierarchy
+        lite = self.organization.lite
+        access = hierarchy.access
+        ipa = self.instructions_per_access
+        interval_accesses = (
+            max(1, round(lite.params.interval_instructions / ipa)) if lite else None
+        )
+        interval_instructions = (
+            round(interval_accesses * ipa) if interval_accesses else 0
+        )
+
+        pending_events = sorted(events or [], key=lambda event: event[0])
+        event_index = 0
+
+        def fire_events(position: int) -> None:
+            nonlocal event_index
+            while (
+                event_index < len(pending_events)
+                and pending_events[event_index][0] <= position
+            ):
+                pending_events[event_index][1](self.organization)
+                event_index += 1
+
+        def next_event_position() -> int:
+            if event_index < len(pending_events):
+                return max(pending_events[event_index][0], 1)
+            return total + 1
+
+        # ----- fast-forward (warm structures, Lite live, stats discarded)
+        pos = 0
+        next_interval = interval_accesses if lite else total + 1
+        last_interval_misses = 0
+        fire_events(0)
+        while pos < fast_forward_accesses:
+            stop = min(fast_forward_accesses, next_interval, next_event_position())
+            for vpn in vpns[pos:stop]:
+                access(vpn)
+            pos = stop
+            fire_events(pos)
+            if lite is not None and pos == next_interval:
+                misses = hierarchy.l1_misses
+                lite.end_interval(misses - last_interval_misses, interval_instructions)
+                last_interval_misses = misses
+                next_interval += interval_accesses
+        hierarchy.reset_measurement()
+        last_interval_misses = 0
+        lite_intervals_before = lite.stats.intervals if lite else 0
+        if lite is not None:
+            next_interval = pos + interval_accesses
+
+        # ----- measured run with timeline sampling ----------------------
+        measured = total - fast_forward_accesses
+        window = max(1, measured // self.sim_params.timeline_windows)
+        window_instructions = max(1, round(window * ipa))
+        next_sample = pos + window
+        last_sample_misses = 0
+        timeline: list[TimelineSample] = []
+        while pos < total:
+            stop = min(total, next_interval, next_sample, next_event_position())
+            for vpn in vpns[pos:stop]:
+                access(vpn)
+            pos = stop
+            fire_events(pos)
+            if lite is not None and pos == next_interval:
+                misses = hierarchy.l1_misses
+                lite.end_interval(misses - last_interval_misses, interval_instructions)
+                last_interval_misses = misses
+                next_interval += interval_accesses
+            if pos == next_sample:
+                misses = hierarchy.l1_misses
+                delta = misses - last_sample_misses
+                timeline.append(
+                    TimelineSample(
+                        instructions=round((pos - fast_forward_accesses) * ipa),
+                        l1_mpki=delta * 1000.0 / window_instructions,
+                        active_ways=lite.active_configuration() if lite else None,
+                    )
+                )
+                last_sample_misses = misses
+                next_sample += window
+
+        # ----- collect results ------------------------------------------
+        hierarchy.sync_stats()
+        instructions = round(measured * ipa)
+        energy = self.energy_model.compute(
+            self.organization.bindings,
+            page_walk_refs=hierarchy.walker.stats.memory_refs,
+            range_walk_refs=hierarchy.range_walk_refs,
+        )
+        return SimulationResult(
+            configuration=self.organization.name,
+            workload=self.workload_name,
+            accesses=measured,
+            instructions=instructions,
+            l1_misses=hierarchy.l1_misses,
+            l2_misses=hierarchy.l2_misses,
+            page_walks=hierarchy.walker.stats.walks,
+            page_walk_refs=hierarchy.walker.stats.memory_refs,
+            range_walk_refs=hierarchy.range_walk_refs,
+            energy=energy,
+            cycles=miss_cycles(hierarchy.l1_misses, hierarchy.l2_misses, instructions),
+            structure_stats={
+                structure.name: structure.stats.snapshot()
+                for structure in hierarchy.all_structures()
+            },
+            hit_attribution=hierarchy.hit_attribution(),
+            timeline=timeline,
+            lite_intervals=(lite.stats.intervals - lite_intervals_before) if lite else 0,
+        )

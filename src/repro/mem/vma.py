@@ -1,0 +1,124 @@
+"""Virtual memory areas and the per-process address-space map.
+
+A :class:`VMA` is a named, contiguous virtual region (heap segment, mmap'd
+arena, stack, ...).  The :class:`AddressSpace` keeps VMAs sorted and
+non-overlapping and hands out 2 MB-aligned placements by default, so that
+transparent huge pages and eager-paging ranges can use huge mappings with
+congruent virtual/physical alignment.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..mmu.translation import PAGES_PER_2MB
+
+
+@dataclass(frozen=True, slots=True)
+class VMA:
+    """One virtual memory area, in 4 KB-page units."""
+
+    start_vpn: int
+    num_pages: int
+    name: str = "anon"
+    thp_eligible: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_pages <= 0:
+            raise ValueError("VMA must cover at least one page")
+        if self.start_vpn < 0:
+            raise ValueError("VMA start must be non-negative")
+
+    @property
+    def end_vpn(self) -> int:
+        """One past the last page (half-open interval)."""
+        return self.start_vpn + self.num_pages
+
+    @property
+    def bytes(self) -> int:
+        """Region size in bytes."""
+        return self.num_pages << 12
+
+    def contains(self, vpn4k: int) -> bool:
+        """True if the page lies inside this VMA."""
+        return self.start_vpn <= vpn4k < self.end_vpn
+
+    def overlaps(self, other: "VMA") -> bool:
+        """True if two VMAs share any page."""
+        return self.start_vpn < other.end_vpn and other.start_vpn < self.end_vpn
+
+
+@dataclass
+class AddressSpace:
+    """Sorted, non-overlapping collection of VMAs.
+
+    ``base_vpn`` is where automatic placement starts (default 0x10000,
+    i.e. VA 0x10000000, clear of the null region), and ``alignment`` is
+    the default placement alignment in pages (512 = 2 MB).
+    """
+
+    base_vpn: int = 0x10000
+    alignment: int = PAGES_PER_2MB
+    _vmas: list[VMA] = field(default_factory=list)
+    _starts: list[int] = field(default_factory=list)
+
+    def mmap(
+        self,
+        num_pages: int,
+        name: str = "anon",
+        at_vpn: int | None = None,
+        thp_eligible: bool = True,
+        alignment: int | None = None,
+    ) -> VMA:
+        """Create a VMA, either at a fixed address or auto-placed.
+
+        Auto-placement appends after the last VMA at the configured
+        alignment with one guard huge-page gap, which keeps distinct VMAs
+        from coalescing into a single range translation.  ``alignment``
+        overrides the default placement alignment for this call (e.g.
+        1 GB-page-backed regions need 1 GB-aligned virtual addresses).
+        """
+        alignment = alignment or self.alignment
+        if at_vpn is None:
+            if self._vmas:
+                at_vpn = self._vmas[-1].end_vpn + alignment
+            else:
+                at_vpn = self.base_vpn
+            remainder = at_vpn % alignment
+            if remainder:
+                at_vpn += alignment - remainder
+        vma = VMA(at_vpn, num_pages, name=name, thp_eligible=thp_eligible)
+        index = bisect.bisect_left(self._starts, vma.start_vpn)
+        for neighbour in self._vmas[max(index - 1, 0) : index + 1]:
+            if neighbour.overlaps(vma):
+                raise ValueError(f"{vma} overlaps existing {neighbour}")
+        self._vmas.insert(index, vma)
+        self._starts.insert(index, vma.start_vpn)
+        return vma
+
+    def munmap(self, vma: VMA) -> None:
+        """Remove a VMA (mappings must be torn down by the caller)."""
+        index = bisect.bisect_left(self._starts, vma.start_vpn)
+        if index >= len(self._vmas) or self._vmas[index] != vma:
+            raise KeyError(f"{vma} not in address space")
+        del self._vmas[index]
+        del self._starts[index]
+
+    def find(self, vpn4k: int) -> VMA | None:
+        """VMA containing the page, or ``None``."""
+        index = bisect.bisect_right(self._starts, vpn4k) - 1
+        if index >= 0 and self._vmas[index].contains(vpn4k):
+            return self._vmas[index]
+        return None
+
+    def __iter__(self):
+        return iter(self._vmas)
+
+    def __len__(self) -> int:
+        return len(self._vmas)
+
+    @property
+    def mapped_pages(self) -> int:
+        """Total pages covered by all VMAs."""
+        return sum(vma.num_pages for vma in self._vmas)

@@ -1,0 +1,104 @@
+"""Intel-style paging-structure caches (the "MMU cache").
+
+After an L2 TLB miss, the walker consults three small caches holding
+intermediate page-table entries, all probed *in parallel* (so each walk
+charges one read to each structure, per the paper's methodology which is
+based on Bhattacharjee's large-reach MMU cache configuration):
+
+=============  ========  ============  ============================
+Structure      Entries   Organisation  Caches
+=============  ========  ============  ============================
+MMU-cache_PDE     32      2-way SA     PDE entries (VA bits 47..21)
+MMU-cache_PDPTE    4      fully assoc  PDPTE entries (VA bits 47..30)
+MMU-cache_PML4     2      fully assoc  PML4 entries (VA bits 47..39)
+=============  ========  ============  ============================
+
+A hit at a level lets the walk skip reading that level and everything
+above it, so a 4 KB walk needs 1–4 memory references, a 2 MB walk 1–3,
+and a 1 GB walk 1–2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tlb.fully_assoc import FullyAssociativeTLB
+from ..tlb.set_assoc import SetAssociativeTLB
+from .translation import PageSize, pde_tag, pdpte_tag, pml4e_tag
+
+
+@dataclass(frozen=True, slots=True)
+class MMUCacheConfig:
+    """Sizes of the three paging-structure caches (defaults per Table 2)."""
+
+    pde_entries: int = 32
+    pde_ways: int = 2
+    pdpte_entries: int = 4
+    pml4_entries: int = 2
+
+
+class MMUCache:
+    """The three paging-structure caches, probed in parallel per walk."""
+
+    def __init__(self, config: MMUCacheConfig | None = None) -> None:
+        config = config or MMUCacheConfig()
+        self.config = config
+        self.pde = SetAssociativeTLB(
+            "MMU-cache-PDE", config.pde_entries, config.pde_ways
+        )
+        self.pdpte = FullyAssociativeTLB("MMU-cache-PDPTE", config.pdpte_entries)
+        self.pml4 = FullyAssociativeTLB("MMU-cache-PML4", config.pml4_entries)
+
+    @property
+    def structures(self) -> tuple:
+        """All three caches, for stats/energy iteration."""
+        return (self.pde, self.pdpte, self.pml4)
+
+    def probe(self, vpn4k: int, page_size: PageSize) -> int:
+        """Parallel probe; returns the number of page-table levels skipped.
+
+        All three structures are charged a lookup (they are accessed in
+        parallel after the L2 TLB miss).  The deepest hit *relevant to the
+        page size* wins: a PDE-cache hit skips 3 levels of a 4 KB walk, a
+        PDPTE hit skips 2, a PML4 hit skips 1.  For a 2 MB page the PDE
+        *is* the leaf, so the PDE cache cannot help (its entries are
+        non-leaf PDEs); likewise the PDPTE cache cannot help a 1 GB walk.
+        """
+        pde_hit = self.pde.lookup(pde_tag(vpn4k)) is not None
+        pdpte_hit = self.pdpte.lookup(pdpte_tag(vpn4k)) is not None
+        pml4_hit = self.pml4.lookup(pml4e_tag(vpn4k)) is not None
+        if page_size is PageSize.SIZE_4KB and pde_hit:
+            return 3
+        if page_size is not PageSize.SIZE_1GB and pdpte_hit:
+            return 2
+        if pml4_hit:
+            return 1
+        return 0
+
+    def fill(self, vpn4k: int, page_size: PageSize) -> None:
+        """Install the intermediate entries traversed by a completed walk.
+
+        Only non-leaf entries enter the paging-structure caches: a 4 KB
+        walk installs PML4E + PDPTE + PDE, a 2 MB walk PML4E + PDPTE, and
+        a 1 GB walk only the PML4E (the leaf goes to the TLBs instead).
+        Filling an already-present entry just refreshes its recency and is
+        skipped to avoid charging spurious write energy.
+        """
+        tag = pml4e_tag(vpn4k)
+        if self.pml4.peek(tag) is None:
+            self.pml4.fill(tag, True)
+        if page_size is PageSize.SIZE_1GB:
+            return
+        tag = pdpte_tag(vpn4k)
+        if self.pdpte.peek(tag) is None:
+            self.pdpte.fill(tag, True)
+        if page_size is PageSize.SIZE_2MB:
+            return
+        tag = pde_tag(vpn4k)
+        if self.pde.peek(tag) is None:
+            self.pde.fill(tag, True)
+
+    def flush(self) -> None:
+        """Invalidate all three caches."""
+        for structure in self.structures:
+            structure.flush()

@@ -1,0 +1,195 @@
+"""x86-64 four-level radix page table.
+
+The page table is the in-memory structure the hardware walker traverses on
+a TLB miss.  We model it faithfully as a radix tree with 512-entry nodes
+(PML4 → PDPT → PD → PT); leaves can sit at three levels:
+
+* level 1 (PT): 4 KB page entries,
+* level 2 (PD): 2 MB page entries (PS bit set),
+* level 3 (PDPT): 1 GB page entries.
+
+The tree is the ground truth for all translations; the OS substrate
+(:mod:`repro.mem`) installs entries, and the walker
+(:mod:`repro.mmu.walker`) reads them while counting memory references.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .translation import (
+    LEVEL_BITS,
+    LEVEL_MASK,
+    PageSize,
+    Translation,
+)
+
+
+class PageFault(Exception):
+    """Raised when a walk reaches an unmapped virtual page."""
+
+    def __init__(self, vpn4k: int) -> None:
+        super().__init__(f"page fault at vpn {vpn4k:#x}")
+        self.vpn4k = vpn4k
+
+
+class PageTableNode:
+    """One 512-entry node of the radix tree.
+
+    ``entries`` maps a 9-bit index either to a child node (non-leaf) or to
+    a :class:`Translation` (leaf entry: PTE, or huge-page PDE/PDPTE).
+    """
+
+    __slots__ = ("level", "entries")
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+        self.entries: dict[int, object] = {}
+
+    def index_for(self, vpn4k: int) -> int:
+        """Index of this node's entry covering the given page."""
+        return (vpn4k >> (LEVEL_BITS * (self.level - 1))) & LEVEL_MASK
+
+
+def _subtree_empty(node: PageTableNode) -> bool:
+    """True if a subtree holds no leaf translation anywhere."""
+    for entry in node.entries.values():
+        if isinstance(entry, Translation):
+            return False
+        if not _subtree_empty(entry):
+            return False
+    return True
+
+
+#: Page-table level at which each page size's leaf entry lives.
+_LEAF_LEVEL = {
+    PageSize.SIZE_4KB: 1,
+    PageSize.SIZE_2MB: 2,
+    PageSize.SIZE_1GB: 3,
+}
+
+
+class PageTable:
+    """A per-process four-level page table."""
+
+    def __init__(self) -> None:
+        self.root = PageTableNode(level=4)
+        self._mapped_pages_4k = 0  # total 4 KB-page equivalents mapped
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def map(self, translation: Translation) -> None:
+        """Install a leaf entry, creating intermediate nodes as needed.
+
+        Raises ``ValueError`` if any part of the region is already mapped
+        (the OS substrate must unmap first), which catches accidental
+        double-allocation bugs in paging policies.
+        """
+        leaf_level = _LEAF_LEVEL[translation.page_size]
+        node = self.root
+        while node.level > leaf_level:
+            index = node.index_for(translation.vpn)
+            child = node.entries.get(index)
+            if child is None:
+                child = PageTableNode(node.level - 1)
+                node.entries[index] = child
+            elif isinstance(child, Translation):
+                raise ValueError(
+                    f"vpn {translation.vpn:#x} already covered by huge page {child}"
+                )
+            node = child
+        index = node.index_for(translation.vpn)
+        existing = node.entries.get(index)
+        if isinstance(existing, PageTableNode) and _subtree_empty(existing):
+            # A fully unmapped subtree may linger (unmap keeps empty
+            # intermediate nodes); a huge-page map reclaims it, as a
+            # kernel frees an empty page-table page before installing
+            # the large entry.
+            existing = None
+            del node.entries[index]
+        if existing is not None:
+            raise ValueError(
+                f"vpn {translation.vpn:#x} already mapped ({existing!r})"
+            )
+        node.entries[index] = translation
+        self._mapped_pages_4k += int(translation.page_size)
+
+    def unmap(self, vpn4k: int) -> Translation:
+        """Remove the leaf entry covering ``vpn4k``; returns it.
+
+        Empty intermediate nodes are left in place (as real kernels often
+        do); they are invisible to lookups.
+        """
+        path = []
+        node = self.root
+        while True:
+            index = node.index_for(vpn4k)
+            entry = node.entries.get(index)
+            if entry is None:
+                raise PageFault(vpn4k)
+            if isinstance(entry, Translation):
+                del node.entries[index]
+                self._mapped_pages_4k -= int(entry.page_size)
+                return entry
+            path.append(node)
+            node = entry
+
+    # ------------------------------------------------------------------
+    # Lookup / walking
+    # ------------------------------------------------------------------
+    def lookup(self, vpn4k: int) -> Optional[Translation]:
+        """Find the leaf translation covering a 4 KB page, or ``None``."""
+        node = self.root
+        while True:
+            entry = node.entries.get(node.index_for(vpn4k))
+            if entry is None:
+                return None
+            if isinstance(entry, Translation):
+                return entry
+            node = entry
+
+    def walk(self, vpn4k: int) -> Translation:
+        """Like :meth:`lookup` but raises :class:`PageFault` if unmapped."""
+        leaf = self.lookup(vpn4k)
+        if leaf is None:
+            raise PageFault(vpn4k)
+        return leaf
+
+    def translate(self, vpn4k: int) -> int:
+        """Physical frame number of a 4 KB virtual page (raises on fault)."""
+        return self.walk(vpn4k).translate(vpn4k)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def mapped_bytes(self) -> int:
+        """Total bytes currently mapped."""
+        return self._mapped_pages_4k << 12
+
+    def iter_translations(self) -> Iterator[Translation]:
+        """Yield all leaf entries in depth-first (address) order."""
+
+        def visit(node: PageTableNode) -> Iterator[Translation]:
+            for index in sorted(node.entries):
+                entry = node.entries[index]
+                if isinstance(entry, Translation):
+                    yield entry
+                else:
+                    yield from visit(entry)
+
+        yield from visit(self.root)
+
+    def count_nodes(self) -> dict[int, int]:
+        """Number of radix nodes per level (for memory-overhead reports)."""
+        counts = {4: 1, 3: 0, 2: 0, 1: 0}
+
+        def visit(node: PageTableNode) -> None:
+            for entry in node.entries.values():
+                if isinstance(entry, PageTableNode):
+                    counts[entry.level] += 1
+                    visit(entry)
+
+        visit(self.root)
+        return counts

@@ -1,0 +1,68 @@
+"""Hardware page-table walker.
+
+On an L2 TLB miss the walker probes the MMU paging-structure caches, then
+reads the remaining page-table levels from memory.  The paper's energy
+model charges each of those memory references one L1-data-cache read
+(optimistically assuming all walk references hit the L1 cache; Figure 3
+explores relaxing that assumption, which :mod:`repro.energy.model` exposes
+as the *walk locality* knob).  The cycle model charges a flat 50 cycles
+per walk regardless of the reference count (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mmu_cache import MMUCache
+from .page_table import PageTable
+from .translation import PageSize, Translation
+
+
+@dataclass(slots=True)
+class WalkResult:
+    """Outcome of one page walk."""
+
+    translation: Translation
+    memory_refs: int  # page-table reads that went to the memory hierarchy
+    levels_skipped: int  # levels satisfied by the MMU cache
+
+
+@dataclass(slots=True)
+class WalkerStats:
+    """Aggregate walker activity over a measurement window."""
+
+    walks: int = 0
+    memory_refs: int = 0
+
+    def reset(self) -> None:
+        self.walks = 0
+        self.memory_refs = 0
+
+    def snapshot(self) -> "WalkerStats":
+        return WalkerStats(self.walks, self.memory_refs)
+
+
+class PageWalker:
+    """Walks a :class:`PageTable` with MMU-cache acceleration."""
+
+    def __init__(self, page_table: PageTable, mmu_cache: MMUCache | None = None) -> None:
+        self.page_table = page_table
+        self.mmu_cache = mmu_cache if mmu_cache is not None else MMUCache()
+        self.stats = WalkerStats()
+
+    def walk(self, vpn4k: int) -> WalkResult:
+        """Translate a 4 KB page via the page table.
+
+        Raises :class:`repro.mmu.page_table.PageFault` if unmapped.  The
+        returned ``memory_refs`` is ``walk_levels - levels_skipped`` and
+        lies in [1, 4]: even a full MMU-cache hit must read the leaf entry
+        itself.
+        """
+        translation = self.page_table.walk(vpn4k)
+        size: PageSize = translation.page_size
+        skipped = self.mmu_cache.probe(vpn4k, size)
+        refs = size.walk_levels - skipped
+        self.mmu_cache.fill(vpn4k, size)
+        self.stats.walks += 1
+        self.stats.memory_refs += refs
+        return WalkResult(translation=translation, memory_refs=refs, levels_skipped=skipped)

@@ -1,0 +1,103 @@
+"""Banked set-associative TLB (related-work baseline, paper Section 7).
+
+Banked TLBs [17, 18, 37] cut lookup energy by partitioning the TLB into
+banks and probing only the bank selected by address bits: each access
+pays the read energy of a bank-sized structure instead of the whole TLB.
+The cost is bank-conflict pressure — a hot set of pages that maps to one
+bank only enjoys that bank's capacity.
+
+The bank index comes from the VPN bits *above* the per-bank set index,
+so consecutive pages first fill a bank's sets before spilling to the
+next bank (the usual design point).
+"""
+
+from __future__ import annotations
+
+from .base import TranslationStructure
+from .set_assoc import SetAssociativeTLB, _is_power_of_two
+
+
+class BankedSetAssociativeTLB(TranslationStructure):
+    """A set-associative TLB split into independently probed banks."""
+
+    def __init__(self, name: str, entries: int, ways: int, banks: int) -> None:
+        super().__init__(name)
+        if not _is_power_of_two(banks):
+            raise ValueError(f"bank count {banks} must be a power of two")
+        if entries % banks != 0:
+            raise ValueError(f"{entries} entries not divisible by {banks} banks")
+        self.entries = entries
+        self.ways = ways
+        self.banks = [
+            SetAssociativeTLB(f"{name}[{index}]", entries // banks, ways)
+            for index in range(banks)
+        ]
+        per_bank_sets = (entries // banks) // ways
+        if per_bank_sets < 1:
+            raise ValueError("banks smaller than one set")
+        self._set_shift = per_bank_sets.bit_length() - 1
+        self._bank_mask = banks - 1
+
+    @property
+    def bank_entries(self) -> int:
+        """Capacity of one bank (the energy-relevant structure size)."""
+        return self.entries // len(self.banks)
+
+    def _bank_for(self, key: int) -> SetAssociativeTLB:
+        return self.banks[(key >> self._set_shift) & self._bank_mask]
+
+    def lookup(self, key: int):
+        """Probe only the selected bank (one bank-sized read)."""
+        return self._bank_for(key).lookup(key)
+
+    def peek(self, key: int):
+        """Containment check without side effects."""
+        return self._bank_for(key).peek(key)
+
+    def fill(self, key: int, value) -> None:
+        """Insert into the selected bank (one bank-sized write)."""
+        self._bank_for(key).fill(key, value)
+
+    def invalidate(self, key: int) -> bool:
+        """Remove one translation; returns True if it was present."""
+        return self._bank_for(key).invalidate(key)
+
+    def flush(self) -> None:
+        """Invalidate every bank."""
+        for bank in self.banks:
+            bank.flush()
+
+    def sync_stats(self) -> None:
+        """Aggregate the banks' counters into this structure's stats.
+
+        Per-way histograms add up directly because every bank shares the
+        same geometry, so the energy accountant prices each probe as one
+        bank-sized access.
+        """
+        self.stats.reset()
+        for bank in self.banks:
+            bank.sync_stats()
+            self.stats.hits += bank.stats.hits
+            self.stats.misses += bank.stats.misses
+            self.stats.lookups_by_ways.update(bank.stats.lookups_by_ways)
+            self.stats.fills_by_ways.update(bank.stats.fills_by_ways)
+
+    def reset_stats(self) -> None:
+        """Reset this structure's and every bank's statistics."""
+        for bank in self.banks:
+            bank.sync_stats()
+            bank.stats.reset()
+        self.stats.reset()
+
+    @property
+    def interval_misses(self) -> int:
+        """Misses since the last sync, summed over banks."""
+        return sum(bank.interval_misses for bank in self.banks)
+
+    def occupancy(self) -> int:
+        """Valid entries across all banks."""
+        return sum(bank.occupancy() for bank in self.banks)
+
+    def bank_occupancies(self) -> list[int]:
+        """Per-bank occupancy (bank-imbalance diagnostics)."""
+        return [bank.occupancy() for bank in self.banks]

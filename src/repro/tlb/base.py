@@ -1,0 +1,104 @@
+"""Common TLB interfaces and per-structure statistics.
+
+Every lookup structure in the simulator (page TLBs, range TLBs, MMU caches)
+exposes the same statistics object so the energy accountant
+(:mod:`repro.energy.model`) can charge reads and writes per the paper's
+Table 3 model::
+
+    E_structure = A * E_read + M * E_write
+
+where ``A`` is the number of lookups and ``M`` the number of fills.  Because
+the dynamic energy of a *way-disabled* structure differs (Table 2 gives the
+energy of the equivalent smaller structure), lookups and fills are histogram-
+med by the number of active ways at the time of the access.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class TLBStats:
+    """Access counters for one lookup structure.
+
+    ``lookups_by_ways`` / ``fills_by_ways`` map the number of active ways
+    (or active entries, for fully-associative structures resized by Lite)
+    at access time to the number of accesses performed in that
+    configuration.  ``hits`` + ``misses`` always equals total lookups.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    lookups_by_ways: Counter = field(default_factory=Counter)
+    fills_by_ways: Counter = field(default_factory=Counter)
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookup (read) operations."""
+        return self.hits + self.misses
+
+    @property
+    def fills(self) -> int:
+        """Total number of fill (write) operations."""
+        return sum(self.fills_by_ways.values())
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that hit; 0.0 if never accessed."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters (used when a measurement window starts)."""
+        self.hits = 0
+        self.misses = 0
+        self.lookups_by_ways.clear()
+        self.fills_by_ways.clear()
+
+    def snapshot(self) -> "TLBStats":
+        """Deep copy of the current counters."""
+        return TLBStats(
+            hits=self.hits,
+            misses=self.misses,
+            lookups_by_ways=Counter(self.lookups_by_ways),
+            fills_by_ways=Counter(self.fills_by_ways),
+        )
+
+
+class TranslationStructure:
+    """Base class for all lookup structures.
+
+    Provides the stats object and naming; subclasses implement ``lookup``
+    and ``fill`` with their own signatures (page TLBs key by page number,
+    range TLBs by containment, MMU caches by partial-VA tags).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stats = TLBStats()
+
+    def flush(self) -> None:
+        """Invalidate all entries (does not touch statistics)."""
+        raise NotImplementedError
+
+    def sync_stats(self) -> None:
+        """Flush any pending access counts into :attr:`stats`.
+
+        Subclasses that batch hot-path counters override this; reading
+        ``stats`` without calling it first may miss in-flight counts.
+        """
+
+    def reset_stats(self) -> None:
+        """Zero the statistics (after syncing pending counts).
+
+        Composite structures (banked TLBs) override this to reset their
+        sub-structures as well.
+        """
+        self.sync_stats()
+        self.stats.reset()
+
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

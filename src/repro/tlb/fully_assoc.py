@@ -1,0 +1,126 @@
+"""Fully-associative, true-LRU lookup structure.
+
+Used for the small structures of the hierarchy: the L1-1GB TLB (4 entries
+in Sandy Bridge), the PDPTE and PML4E paging-structure caches, and — in the
+SPARC/AMD-style ablation — a single mixed-page-size L1 TLB.
+
+Lite can also resize fully-associative structures: "although there is no
+notion of ways in a fully associative TLB, Lite clusters the distance of
+TLB hits from the LRU position as if there were ways, and reduces the TLB
+size in powers-of-two" (Section 4.4).  ``set_active_entries`` implements
+that capacity reduction, and ``hit_rank_counters`` provides the same
+Figure 6 grouping as the set-associative TLB (index ``rank.bit_length()``).
+
+Statistics follow the same sync discipline as
+:class:`repro.tlb.set_assoc.SetAssociativeTLB`: plain pending integers,
+flushed into per-configuration histograms by :meth:`sync_stats`.
+"""
+
+from __future__ import annotations
+
+from .base import TranslationStructure
+
+
+class FullyAssociativeTLB(TranslationStructure):
+    """A fully-associative cache keyed by arbitrary hashable tags.
+
+    Maintains a single recency list (MRU first).
+    """
+
+    def __init__(self, name: str, entries: int) -> None:
+        super().__init__(name)
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        self.entries = entries
+        self.active_entries = entries
+        self._stack: list[list] = []  # [key, value] pairs, MRU first
+        self.hit_rank_counters: list[int] | None = None
+        self._pending_hits = 0
+        self._pending_misses = 0
+        self._pending_fills = 0
+
+    def lookup(self, key):
+        """Probe the structure; return the value or ``None`` on a miss."""
+        stack = self._stack
+        for rank, pair in enumerate(stack):
+            if pair[0] == key:
+                self._pending_hits += 1
+                counters = self.hit_rank_counters
+                if counters is not None:
+                    counters[rank.bit_length()] += 1
+                if rank:
+                    stack.pop(rank)
+                    stack.insert(0, pair)
+                return pair[1]
+        self._pending_misses += 1
+        return None
+
+    def peek(self, key):
+        """Check containment without touching LRU state or statistics."""
+        for pair in self._stack:
+            if pair[0] == key:
+                return pair[1]
+        return None
+
+    def fill(self, key, value) -> None:
+        """Insert an entry at the MRU position, evicting the LRU if full."""
+        self._pending_fills += 1
+        stack = self._stack
+        for rank, pair in enumerate(stack):
+            if pair[0] == key:
+                stack.pop(rank)
+                break
+        stack.insert(0, [key, value])
+        if len(stack) > self.active_entries:
+            stack.pop()
+
+    def invalidate(self, key) -> bool:
+        """Remove one entry; returns True if it was present."""
+        for rank, pair in enumerate(self._stack):
+            if pair[0] == key:
+                self._stack.pop(rank)
+                return True
+        return False
+
+    def flush(self) -> None:
+        """Invalidate all entries."""
+        self._stack.clear()
+
+    def sync_stats(self) -> None:
+        """Flush pending access counts into the per-configuration stats."""
+        pending_lookups = self._pending_hits + self._pending_misses
+        if pending_lookups:
+            self.stats.hits += self._pending_hits
+            self.stats.misses += self._pending_misses
+            self.stats.lookups_by_ways[self.active_entries] += pending_lookups
+            self._pending_hits = 0
+            self._pending_misses = 0
+        if self._pending_fills:
+            self.stats.fills_by_ways[self.active_entries] += self._pending_fills
+            self._pending_fills = 0
+
+    @property
+    def interval_misses(self) -> int:
+        """Misses since the last :meth:`sync_stats`."""
+        return self._pending_misses
+
+    def set_active_entries(self, entries: int) -> None:
+        """Resize the structure in the Lite fashion (Section 4.4).
+
+        Shrinking drops the least-recently-used entries; growing raises
+        the capacity with the new slots starting invalid.
+        """
+        if entries < 1 or entries > self.entries:
+            raise ValueError(f"active entries {entries} outside [1, {self.entries}]")
+        self.sync_stats()
+        if entries < self.active_entries:
+            del self._stack[entries:]
+        self.active_entries = entries
+
+    def occupancy(self) -> int:
+        """Number of valid entries currently held."""
+        return len(self._stack)
+
+    def resident_keys(self) -> list:
+        """Keys in recency order (MRU first); for tests."""
+        return [pair[0] for pair in self._stack]

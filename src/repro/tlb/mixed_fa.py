@@ -1,0 +1,123 @@
+"""Fully-associative mixed-page-size L1 TLB (SPARC / AMD style).
+
+Section 4.4 of the paper: instead of separate set-associative L1 TLBs per
+page size (Intel), some processors use a single fully-associative L1 TLB
+whose entries each carry a page-size mask, so one CAM search matches 4 KB
+and huge-page entries alike.  "The same Lite mechanism applies ... Lite
+clusters the distance of TLB hits from the LRU position as if there were
+ways, and reduces the TLB size in powers-of-two."
+
+Entries here are :class:`repro.mmu.translation.Translation` objects; a
+lookup hits when any entry *covers* the probed 4 KB page (the CAM's
+masked compare).  Replacement is true LRU, and Lite resizes the structure
+through ``set_active_entries``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mmu.translation import Translation
+from .base import TranslationStructure
+
+
+class MixedFullyAssociativeTLB(TranslationStructure):
+    """Single fully-associative TLB holding translations of every size."""
+
+    def __init__(self, name: str, entries: int) -> None:
+        super().__init__(name)
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        self.entries = entries
+        self.active_entries = entries
+        self._stack: list[Translation] = []  # MRU first
+        self.hit_rank_counters: list[int] | None = None
+        self._pending_hits = 0
+        self._pending_misses = 0
+        self._pending_fills = 0
+
+    def lookup(self, vpn4k: int) -> Optional[Translation]:
+        """Masked CAM search: hit if any entry covers the 4 KB page."""
+        stack = self._stack
+        for rank, entry in enumerate(stack):
+            if entry.vpn <= vpn4k < entry.vpn + int(entry.page_size):
+                self._pending_hits += 1
+                counters = self.hit_rank_counters
+                if counters is not None:
+                    counters[rank.bit_length()] += 1
+                if rank:
+                    stack.pop(rank)
+                    stack.insert(0, entry)
+                return entry
+        self._pending_misses += 1
+        return None
+
+    def peek(self, vpn4k: int) -> Optional[Translation]:
+        """Containment check without LRU/statistics side effects."""
+        for entry in self._stack:
+            if entry.covers(vpn4k):
+                return entry
+        return None
+
+    def fill(self, translation: Translation) -> None:
+        """Insert at MRU; an entry covering the same region is replaced."""
+        self._pending_fills += 1
+        stack = self._stack
+        stack[:] = [
+            entry
+            for entry in stack
+            if not (
+                entry.vpn < translation.vpn + int(translation.page_size)
+                and translation.vpn < entry.vpn + int(entry.page_size)
+            )
+        ]
+        stack.insert(0, translation)
+        if len(stack) > self.active_entries:
+            stack.pop()
+
+    def invalidate_covering(self, vpn4k: int) -> bool:
+        """Remove the entry covering a page (TLB shootdown); True if found."""
+        for rank, entry in enumerate(self._stack):
+            if entry.covers(vpn4k):
+                self._stack.pop(rank)
+                return True
+        return False
+
+    def flush(self) -> None:
+        """Invalidate all entries."""
+        self._stack.clear()
+
+    def sync_stats(self) -> None:
+        """Flush pending access counts into the per-configuration stats."""
+        pending_lookups = self._pending_hits + self._pending_misses
+        if pending_lookups:
+            self.stats.hits += self._pending_hits
+            self.stats.misses += self._pending_misses
+            self.stats.lookups_by_ways[self.active_entries] += pending_lookups
+            self._pending_hits = 0
+            self._pending_misses = 0
+        if self._pending_fills:
+            self.stats.fills_by_ways[self.active_entries] += self._pending_fills
+            self._pending_fills = 0
+
+    @property
+    def interval_misses(self) -> int:
+        """Misses since the last :meth:`sync_stats`."""
+        return self._pending_misses
+
+    def set_active_entries(self, entries: int) -> None:
+        """Lite-style power-of-two capacity reduction (Section 4.4)."""
+        if entries < 1 or entries > self.entries:
+            raise ValueError(f"active entries {entries} outside [1, {self.entries}]")
+        self.sync_stats()
+        if entries < self.active_entries:
+            del self._stack[entries:]
+        self.active_entries = entries
+
+    def occupancy(self) -> int:
+        """Number of valid entries currently held."""
+        return len(self._stack)
+
+    def resident_translations(self) -> list[Translation]:
+        """Entries in recency order (MRU first); for tests."""
+        return list(self._stack)

@@ -1,0 +1,126 @@
+"""Range TLB: fully-associative cache of RMM range translations.
+
+A range TLB entry maps an *arbitrarily large* contiguous virtual interval
+onto a contiguous physical interval (see
+:class:`repro.mmu.translation.RangeTranslation`).  A lookup therefore
+performs a *double comparison* per entry — ``base <= vpn < limit`` —
+instead of the single tag-equality check of a page TLB, which is why the
+paper models its dynamic energy as a fully-associative page TLB with twice
+the tag bits (Section 5, Table 2).
+
+The paper uses two instances:
+
+* the **L2-range TLB** (32 entries, from the original RMM design), probed
+  in parallel with the L2-page TLB after an L1 miss, and
+* the **L1-range TLB** introduced by RMM_Lite (4 entries), probed in
+  parallel with the L1-page TLBs on *every* memory operation.
+
+Replacement is true LRU over the entries, like the page TLBs.  Statistics
+follow the pending/sync discipline of the other TLB classes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mmu.translation import RangeTranslation
+from .base import TranslationStructure
+
+
+class RangeTLB(TranslationStructure):
+    """Fully-associative TLB whose entries hit by interval containment."""
+
+    def __init__(self, name: str, entries: int) -> None:
+        super().__init__(name)
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        self.entries = entries
+        self.active_entries = entries
+        self._stack: list[RangeTranslation] = []  # MRU first
+        self.hit_rank_counters: list[int] | None = None
+        self._pending_hits = 0
+        self._pending_misses = 0
+        self._pending_fills = 0
+
+    def lookup(self, vpn4k: int) -> Optional[RangeTranslation]:
+        """Probe for a range containing ``vpn4k``; None on a miss."""
+        stack = self._stack
+        for rank, rng in enumerate(stack):
+            if rng.base_vpn <= vpn4k < rng.limit_vpn:
+                self._pending_hits += 1
+                counters = self.hit_rank_counters
+                if counters is not None:
+                    counters[rank.bit_length()] += 1
+                if rank:
+                    stack.pop(rank)
+                    stack.insert(0, rng)
+                return rng
+        self._pending_misses += 1
+        return None
+
+    def peek(self, vpn4k: int) -> Optional[RangeTranslation]:
+        """Containment check without LRU/statistics side effects."""
+        for rng in self._stack:
+            if rng.base_vpn <= vpn4k < rng.limit_vpn:
+                return rng
+        return None
+
+    def fill(self, rng: RangeTranslation) -> None:
+        """Insert a range translation at the MRU position.
+
+        Any cached range overlapping the new one is invalidated first:
+        overlapping entries would make hits ambiguous, and the OS range
+        table never contains overlaps, so a stale overlap means the
+        mapping changed.
+        """
+        self._pending_fills += 1
+        stack = self._stack
+        stack[:] = [r for r in stack if not r.overlaps(rng)]
+        stack.insert(0, rng)
+        if len(stack) > self.active_entries:
+            stack.pop()
+
+    def invalidate_overlap(self, rng: RangeTranslation) -> int:
+        """Drop all cached ranges overlapping ``rng``; returns count dropped."""
+        before = len(self._stack)
+        self._stack[:] = [r for r in self._stack if not r.overlaps(rng)]
+        return before - len(self._stack)
+
+    def flush(self) -> None:
+        """Invalidate all entries."""
+        self._stack.clear()
+
+    def sync_stats(self) -> None:
+        """Flush pending access counts into the per-configuration stats."""
+        pending_lookups = self._pending_hits + self._pending_misses
+        if pending_lookups:
+            self.stats.hits += self._pending_hits
+            self.stats.misses += self._pending_misses
+            self.stats.lookups_by_ways[self.active_entries] += pending_lookups
+            self._pending_hits = 0
+            self._pending_misses = 0
+        if self._pending_fills:
+            self.stats.fills_by_ways[self.active_entries] += self._pending_fills
+            self._pending_fills = 0
+
+    @property
+    def interval_misses(self) -> int:
+        """Misses since the last :meth:`sync_stats`."""
+        return self._pending_misses
+
+    def set_active_entries(self, entries: int) -> None:
+        """Lite-style capacity reduction (drops LRU-most entries)."""
+        if entries < 1 or entries > self.entries:
+            raise ValueError(f"active entries {entries} outside [1, {self.entries}]")
+        self.sync_stats()
+        if entries < self.active_entries:
+            del self._stack[entries:]
+        self.active_entries = entries
+
+    def occupancy(self) -> int:
+        """Number of valid entries currently held."""
+        return len(self._stack)
+
+    def resident_ranges(self) -> list[RangeTranslation]:
+        """Ranges in recency order (MRU first); for tests."""
+        return list(self._stack)

@@ -1,0 +1,114 @@
+"""Semantically partitioned TLB (related-work baseline, paper Section 7).
+
+Lee and Ballapuram [37] split the data TLB into partitions serving
+semantic regions — stack, global data, heap — so each lookup probes only
+the (smaller, cheaper) partition its address belongs to; Ballapuram et
+al. [10] later exploited the low entropy of stack/global addresses the
+same way.  The semantic class of an address is known early (it comes
+from the segment/region, not the translation), so the probe needs no
+prediction.
+
+Here the classifier is a chunk-granular map derived from the process's
+VMAs: THP-ineligible "stack"-named VMAs form the stack class, other
+ineligible VMAs the global class, everything else the heap class.
+Partitions can have different geometries; statistics stay per partition
+(they are separate structures to the energy model).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import TranslationStructure
+from .set_assoc import SetAssociativeTLB
+
+#: Semantic classes, in partition order.
+STACK, GLOBALS, HEAP = 0, 1, 2
+CLASS_NAMES = ("stack", "globals", "heap")
+
+
+class SemanticPartitionedTLB(TranslationStructure):
+    """An L1 TLB split into semantic partitions probed selectively."""
+
+    def __init__(
+        self,
+        name: str,
+        partitions: list[SetAssociativeTLB],
+        classify: Callable[[int], int],
+    ) -> None:
+        super().__init__(name)
+        if not partitions:
+            raise ValueError("need at least one partition")
+        self.partitions = partitions
+        self._classify = classify
+
+    def lookup(self, key: int):
+        """Probe only the partition owning the address's semantic class."""
+        return self.partitions[self._classify(key)].lookup(key)
+
+    def peek(self, key: int):
+        """Containment check without side effects."""
+        return self.partitions[self._classify(key)].peek(key)
+
+    def fill(self, key: int, value) -> None:
+        """Insert into the owning partition."""
+        self.partitions[self._classify(key)].fill(key, value)
+
+    def invalidate(self, key: int) -> bool:
+        """Remove one translation; returns True if it was present."""
+        return self.partitions[self._classify(key)].invalidate(key)
+
+    def flush(self) -> None:
+        """Invalidate every partition."""
+        for partition in self.partitions:
+            partition.flush()
+
+    def sync_stats(self) -> None:
+        """Aggregate partition counters (per-partition stats stay primary).
+
+        Hit/miss totals are summed for reporting; per-way histograms are
+        *not* merged because the partitions have different geometries —
+        the energy model binds each partition separately.
+        """
+        self.stats.reset()
+        for partition in self.partitions:
+            partition.sync_stats()
+            self.stats.hits += partition.stats.hits
+            self.stats.misses += partition.stats.misses
+
+    def reset_stats(self) -> None:
+        """Reset this structure's and every partition's statistics."""
+        for partition in self.partitions:
+            partition.sync_stats()
+            partition.stats.reset()
+        self.stats.reset()
+
+    @property
+    def interval_misses(self) -> int:
+        """Misses since the last sync, summed over partitions."""
+        return sum(partition.interval_misses for partition in self.partitions)
+
+    def occupancy(self) -> int:
+        """Valid entries across all partitions."""
+        return sum(partition.occupancy() for partition in self.partitions)
+
+
+def classify_by_vma(address_space) -> Callable[[int], int]:
+    """Build a chunk-granular semantic classifier from a VMA layout.
+
+    Stack = THP-ineligible VMAs named like a stack; globals = other
+    THP-ineligible VMAs; heap = everything else (and unknown addresses).
+    """
+    chunk_class: dict[int, int] = {}
+    for vma in address_space:
+        if not vma.thp_eligible:
+            semantic = STACK if "stack" in vma.name else GLOBALS
+        else:
+            semantic = HEAP
+        for chunk in range(vma.start_vpn >> 9, ((vma.end_vpn - 1) >> 9) + 1):
+            chunk_class[chunk] = semantic
+
+    def classify(vpn4k: int) -> int:
+        return chunk_class.get(vpn4k >> 9, HEAP)
+
+    return classify

@@ -1,0 +1,199 @@
+"""Set-associative page TLB with true-LRU replacement and way-disabling.
+
+This is the workhorse structure of the paper: the baseline Intel-style L1
+TLBs (separate per page size) and the L2-4KB TLB are all set-associative
+with LRU replacement.  The Lite mechanism (Section 4.2) resizes these TLBs
+by *disabling ways in powers of two* while the number of sets stays
+constant; disabled ways are invalidated (Section 4.2.3) so re-enabling
+never exposes stale translations.
+
+Each set is kept as a recency-ordered list (most-recently-used first), so
+a hit's index in the list is exactly its LRU stack position — the quantity
+the Lite monitoring hardware derives from the LRU state bits.  True LRU
+gives the *stack inclusion* property Lite's counters rely on: the content
+of a w-way set is always a prefix of the 2w-way set's recency stack, which
+makes the counter-based miss prediction exact.
+
+Hot-path design: lookups and fills bump plain integers; the per-way-
+configuration histograms that energy accounting needs are flushed into
+:class:`repro.tlb.base.TLBStats` by :meth:`sync_stats`, which runs
+automatically whenever the active-way configuration changes (the only
+event that would mis-attribute pending counts).  Lite's LRU-distance
+monitoring is a plain counter list (``hit_rank_counters``) incremented
+inline — the index is ``rank.bit_length()``, which groups stack positions
+exactly as the paper's Figure 6 does ({0}, {1}, {2-3}, {4-7}, ...).
+"""
+
+from __future__ import annotations
+
+from .base import TranslationStructure
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class SetAssociativeTLB(TranslationStructure):
+    """A set-associative, true-LRU TLB keyed by page-granularity VPN.
+
+    Parameters
+    ----------
+    name:
+        Identifier used for statistics and energy accounting
+        (e.g. ``"L1-4KB"``).
+    entries:
+        Total entry count with all ways enabled.
+    ways:
+        Associativity; must divide ``entries`` and be a power of two so
+        way-disabling can halve it repeatedly down to direct-mapped.
+
+    Attributes
+    ----------
+    hit_rank_counters:
+        Optional list of Lite LRU-distance counters.  When set, every hit
+        increments ``hit_rank_counters[rank.bit_length()]`` where ``rank``
+        is the hit's LRU stack position (0 = MRU).  See
+        :class:`repro.core.counters.LRUDistanceCounters`.
+    """
+
+    def __init__(self, name: str, entries: int, ways: int) -> None:
+        super().__init__(name)
+        if entries % ways != 0:
+            raise ValueError(f"{entries} entries not divisible by {ways} ways")
+        if not _is_power_of_two(ways):
+            raise ValueError(f"associativity {ways} must be a power of two")
+        self.entries = entries
+        self.ways = ways
+        self.num_sets = entries // ways
+        if not _is_power_of_two(self.num_sets):
+            raise ValueError(f"set count {self.num_sets} must be a power of two")
+        self._set_mask = self.num_sets - 1
+        self.active_ways = ways
+        # Each set: list of [key, value] pairs ordered MRU -> LRU.
+        self._sets: list[list[list]] = [[] for _ in range(self.num_sets)]
+        self.hit_rank_counters: list[int] | None = None
+        # Pending counts since the last sync (all at current active_ways).
+        self._pending_hits = 0
+        self._pending_misses = 0
+        self._pending_fills = 0
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def lookup(self, key: int):
+        """Probe the TLB; return the cached value or ``None`` on a miss.
+
+        ``key`` is the page-granularity virtual page number (the caller
+        divides the 4 KB VPN by the structure's page size).  Counts one
+        read access at the current active-way configuration.
+        """
+        entries = self._sets[key & self._set_mask]
+        for rank, pair in enumerate(entries):
+            if pair[0] == key:
+                self._pending_hits += 1
+                counters = self.hit_rank_counters
+                if counters is not None:
+                    counters[rank.bit_length()] += 1
+                if rank:
+                    # Move to MRU position.
+                    entries.pop(rank)
+                    entries.insert(0, pair)
+                return pair[1]
+        self._pending_misses += 1
+        return None
+
+    def peek(self, key: int):
+        """Check containment without updating LRU state or statistics."""
+        for pair in self._sets[key & self._set_mask]:
+            if pair[0] == key:
+                return pair[1]
+        return None
+
+    def fill(self, key: int, value) -> None:
+        """Insert a translation, evicting the set's LRU entry if full.
+
+        Counts one write access at the current active-way configuration.
+        A fill of an already-present key refreshes its value and recency.
+        """
+        self._pending_fills += 1
+        entries = self._sets[key & self._set_mask]
+        for rank, pair in enumerate(entries):
+            if pair[0] == key:
+                entries.pop(rank)
+                break
+        entries.insert(0, [key, value])
+        if len(entries) > self.active_ways:
+            entries.pop()
+
+    def invalidate(self, key: int) -> bool:
+        """Remove one translation; returns True if it was present."""
+        entries = self._sets[key & self._set_mask]
+        for rank, pair in enumerate(entries):
+            if pair[0] == key:
+                entries.pop(rank)
+                return True
+        return False
+
+    def flush(self) -> None:
+        """Invalidate every entry (e.g. on context switch)."""
+        for entries in self._sets:
+            entries.clear()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def sync_stats(self) -> None:
+        """Flush pending access counts into the per-configuration stats."""
+        pending_lookups = self._pending_hits + self._pending_misses
+        if pending_lookups:
+            self.stats.hits += self._pending_hits
+            self.stats.misses += self._pending_misses
+            self.stats.lookups_by_ways[self.active_ways] += pending_lookups
+            self._pending_hits = 0
+            self._pending_misses = 0
+        if self._pending_fills:
+            self.stats.fills_by_ways[self.active_ways] += self._pending_fills
+            self._pending_fills = 0
+
+    @property
+    def interval_misses(self) -> int:
+        """Misses since the last :meth:`sync_stats` (Lite interval input)."""
+        return self._pending_misses
+
+    # ------------------------------------------------------------------
+    # Way-disabling (the Lite reconfiguration mechanism)
+    # ------------------------------------------------------------------
+    def set_active_ways(self, ways: int) -> None:
+        """Reconfigure the number of active ways.
+
+        Downsizing truncates each set to the new capacity, which models
+        invalidating the translations held in the disabled ways; with a
+        recency-ordered set this discards exactly the least-recently-used
+        entries, matching hardware that disables the ways holding the LRU
+        positions.  Upsizing simply raises the capacity — re-enabled ways
+        come up invalid, so no stale translations appear.
+        """
+        if not _is_power_of_two(ways) or ways > self.ways:
+            raise ValueError(
+                f"active ways {ways} must be a power of two <= {self.ways}"
+            )
+        self.sync_stats()
+        if ways < self.active_ways:
+            for entries in self._sets:
+                del entries[ways:]
+        self.active_ways = ways
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (tests, debugging, reports)
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Number of valid entries currently held."""
+        return sum(len(entries) for entries in self._sets)
+
+    def resident_keys(self) -> set[int]:
+        """Set of all keys currently cached."""
+        return {pair[0] for entries in self._sets for pair in entries}
+
+    def set_contents(self, set_index: int) -> list[int]:
+        """Keys of one set in recency order (MRU first); for tests."""
+        return [pair[0] for pair in self._sets[set_index]]

@@ -1,0 +1,125 @@
+"""Workload model: address-space layout + reference-stream generator.
+
+A :class:`Workload` owns (i) the VMAs the benchmark maps (sizes from the
+paper's Table 4, split into the program's dominant data structures) and
+(ii) a pattern factory that builds the reference stream over those VMAs.
+
+The same workload must be comparable across configurations, so VMA
+placement is deterministic: building the process for any paging policy
+yields the same virtual layout, and traces are generated against that
+layout independently of the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..mem.paging import PagingPolicy
+from ..mem.physical import PhysicalMemory
+from ..mem.process import Process
+from ..mem.vma import AddressSpace
+from .patterns import AccessPattern, Region
+
+#: 4 KB pages per MiB.
+PAGES_PER_MB = 256
+
+
+@dataclass(frozen=True, slots=True)
+class VMASpec:
+    """One region the workload maps: name, size, THP eligibility."""
+
+    name: str
+    mb: float
+    thp_eligible: bool = True
+
+    @property
+    def pages(self) -> int:
+        return max(1, round(self.mb * PAGES_PER_MB))
+
+
+class Workload:
+    """A synthetic stand-in for one benchmark.
+
+    Parameters
+    ----------
+    name / suite:
+        Benchmark identity ("mcf", "SPEC 2006"). ``suite`` groups
+        workloads for the Figure 12 sweeps.
+    vma_specs:
+        Regions to map, in placement order.
+    pattern_factory:
+        Called with ``{vma name: Region}``; returns the trace pattern.
+    instructions_per_access:
+        Ratio of instructions to memory operations; converts access
+        counts to instruction counts (MPKI denominators, Lite intervals).
+    tlb_intensive:
+        True for the paper's main evaluation set (> 5 L1 MPKI at 4 KB).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        suite: str,
+        vma_specs: list[VMASpec],
+        pattern_factory: Callable[[dict[str, Region]], AccessPattern],
+        instructions_per_access: float = 3.0,
+        tlb_intensive: bool = False,
+        description: str = "",
+    ) -> None:
+        if not vma_specs:
+            raise ValueError("workload needs at least one VMA")
+        self.name = name
+        self.suite = suite
+        self.vma_specs = list(vma_specs)
+        self.pattern_factory = pattern_factory
+        self.instructions_per_access = instructions_per_access
+        self.tlb_intensive = tlb_intensive
+        self.description = description
+
+    # ------------------------------------------------------------------
+    @property
+    def footprint_mb(self) -> float:
+        """Total mapped memory in MiB (paper Table 4's column)."""
+        return sum(spec.mb for spec in self.vma_specs)
+
+    def regions(self) -> dict[str, Region]:
+        """Deterministic placement of every VMA (no process needed)."""
+        space = AddressSpace()
+        placed: dict[str, Region] = {}
+        for spec in self.vma_specs:
+            vma = space.mmap(spec.pages, name=spec.name, thp_eligible=spec.thp_eligible)
+            placed[spec.name] = Region(vma.start_vpn, vma.num_pages)
+        return placed
+
+    def build_process(
+        self, policy: PagingPolicy, physical: PhysicalMemory | None = None
+    ) -> Process:
+        """Create and populate a process under the given paging policy.
+
+        The virtual layout matches :meth:`regions` exactly (placement is
+        policy-independent), so traces remain valid for every
+        configuration.
+        """
+        process = Process(physical=physical, policy=policy)
+        for spec in self.vma_specs:
+            process.mmap(spec.pages, name=spec.name, thp_eligible=spec.thp_eligible)
+        return process
+
+    def trace(self, num_accesses: int, seed: int = 0) -> np.ndarray:
+        """Generate the reference stream (int64 vpn array)."""
+        if num_accesses <= 0:
+            raise ValueError("num_accesses must be positive")
+        rng = np.random.default_rng(seed)
+        pattern = self.pattern_factory(self.regions())
+        trace = pattern.generate(rng, num_accesses)
+        if len(trace) != num_accesses:
+            raise AssertionError(
+                f"pattern produced {len(trace)} accesses, wanted {num_accesses}"
+            )
+        return trace
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Workload {self.name} ({self.suite}, {self.footprint_mb:.0f} MB)>"

@@ -1,0 +1,85 @@
+"""Model of PARSEC `canneal` (simulated-annealing chip routing),
+Table 4: 780 MB — THP's worst case.
+
+Paper anchors:
+
+* **Figure 2a** — THP *raises* canneal's dynamic energy the most
+  (+43 % in the paper): **Table 5 shows 91 % of its TLB_Lite hits are
+  4 KB pages**, i.e. its element-by-element allocation defeated THP in
+  the paper's measurements.  The model marks the netlist VMAs
+  THP-ineligible accordingly, so the L1-2MB TLB burns energy on every
+  access while serving almost nothing.
+* **Table 5** — canneal pins all 4 ways (100 %) under TLB_Lite: the
+  wide flat stack/element tiers give utility at every LRU rank.
+* Random element churn over the whole netlist keeps walks alive under
+  THP (the 4 KB-page random set exceeds every TLB's reach), so
+  canneal also resists THP on the cycle side.
+"""
+
+from __future__ import annotations
+
+from ..base import VMASpec, Workload
+from ..patterns import (
+    Mixture,
+    Phased,
+    RepeatingPhases,
+    Region,
+    SequentialScan,
+    ShuffledScan,
+    StridedSet,
+    UniformRandom,
+)
+from ..tiers import hot as _hot
+from ..tiers import warm as _warm
+from ..tiers import wide as _wide
+
+
+def canneal() -> Workload:
+    """Simulated annealing: uniform random netlist churn.
+
+    Near-zero page locality over the netlist — the workload where THP
+    *raises* dynamic energy the most (+43 % in the paper) because both
+    L1 TLBs burn energy on every access while the random element stream
+    defeats even 2 MB pages; the flat, wide hot tier keeps all 4 ways
+    busy (Table 5: 100 % 4-way).
+    """
+
+    def pattern(regions: dict[str, Region]):
+        netlists = [regions[name] for name in ("netlist_a", "netlist_b", "netlist_c")]
+        elements = regions["elements"]
+        stack = regions["stack"]
+        def anneal_step(region):
+            # Each annealing phase churns one netlist partition, keeping
+            # four VMAs hot: stack, elements, and the partition (warm and
+            # cold tiers share it) — Table 5: canneal's high range share.
+            return Mixture(
+                [
+                    (_hot(stack, 24, alpha=1.0, burst=4), 0.28),
+                    (_wide(stack, 72, burst=3, offset=96), 0.13),
+                    (_wide(elements, 56, burst=3, offset=64), 0.13),
+                    (_hot(elements, 32, alpha=0.8, burst=3), 0.275),
+                    (_warm(region, 96, burst=3), 0.14),
+                    (UniformRandom(region, burst=4), 0.045),
+                ]
+            )
+
+        return Phased([(anneal_step(region), 1.0 / 3) for region in netlists])
+
+    return Workload(
+        "canneal",
+        "PARSEC",
+        [
+            # canneal's element-by-element allocation defeats THP in the
+            # paper's measurements (Table 5: 91 % of its TLB_Lite hits are
+            # 4 KB) — the netlist arenas never assemble into huge pages.
+            VMASpec("netlist_a", 260, thp_eligible=False),
+            VMASpec("netlist_b", 250, thp_eligible=False),
+            VMASpec("netlist_c", 250, thp_eligible=False),
+            VMASpec("elements", 12),
+            VMASpec("stack", 8, thp_eligible=False),
+        ],
+        pattern,
+        instructions_per_access=3.0,
+        tlb_intensive=True,
+        description="simulated annealing for chip routing",
+    )

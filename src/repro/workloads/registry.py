@@ -1,0 +1,52 @@
+"""Workload registry: lookup by name, grouping by suite/intensity."""
+
+from __future__ import annotations
+
+from .base import Workload
+from .secondary import parsec_other_workloads, spec_other_workloads
+from .benchmarks import TLB_INTENSIVE_BUILDERS
+
+
+def _build_all() -> dict[str, Workload]:
+    workloads: dict[str, Workload] = {}
+    for builder in TLB_INTENSIVE_BUILDERS:
+        workload = builder()
+        workloads[workload.name] = workload
+    for workload in spec_other_workloads() + parsec_other_workloads():
+        if workload.name in workloads:
+            raise ValueError(f"duplicate workload name {workload.name!r}")
+        workloads[workload.name] = workload
+    return workloads
+
+
+_REGISTRY: dict[str, Workload] | None = None
+
+
+def all_workloads() -> dict[str, Workload]:
+    """Every registered workload by name (built lazily, cached)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build_all()
+    return _REGISTRY
+
+
+def get_workload(name: str) -> Workload:
+    """Look one workload up by name (KeyError with suggestions)."""
+    workloads = all_workloads()
+    if name not in workloads:
+        known = ", ".join(sorted(workloads))
+        raise KeyError(f"unknown workload {name!r}; known: {known}")
+    return workloads[name]
+
+
+def tlb_intensive_workloads() -> list[Workload]:
+    """The paper's main evaluation set, in paper order."""
+    return [w for w in all_workloads().values() if w.tlb_intensive]
+
+def other_workloads(suite: str | None = None) -> list[Workload]:
+    """The Figure 12 set, optionally filtered by suite."""
+    return [
+        w
+        for w in all_workloads().values()
+        if not w.tlb_intensive and (suite is None or w.suite == suite)
+    ]

@@ -1,0 +1,27 @@
+"""Compatibility shim: the TLB-intensive models moved to
+:mod:`repro.workloads.benchmarks` (one module per benchmark, with the
+calibration notes).  Import from there for new code."""
+
+from .benchmarks import (
+    TLB_INTENSIVE_BUILDERS,
+    astar,
+    cactusadm,
+    canneal,
+    gemsfdtd,
+    mcf,
+    mummer,
+    omnetpp,
+    zeusmp,
+)
+
+__all__ = [
+    "TLB_INTENSIVE_BUILDERS",
+    "astar",
+    "cactusadm",
+    "gemsfdtd",
+    "mcf",
+    "omnetpp",
+    "zeusmp",
+    "mummer",
+    "canneal",
+]

@@ -1,0 +1,45 @@
+"""Shared locality-tier builders for the benchmark models.
+
+The per-benchmark modules (:mod:`repro.workloads.benchmarks`) compose
+their reference streams from three tiers; see ``docs/workloads.md`` for
+the full calibration methodology.
+
+* :func:`hot` — skewed reuse inside a small window (tens of pages).
+  Almost always hits the L1 TLBs; its size/skew shape the LRU-rank
+  utility driving Lite's way decisions.
+* :func:`wide` — near-uniform reuse over slightly more pages than the
+  L1 reach, placed past the hot window.  Produces L1 misses that hit
+  the L2 and keeps deep LRU ranks useful (pins Lite at 4 ways).
+* :func:`warm` — uniform reuse over a window between the 256 KB L1-4KB
+  reach and the 2 MB L2 reach: the dominant miss class at 4 KB pages,
+  absorbed by the L1-2MB TLB under THP.
+"""
+
+from __future__ import annotations
+
+from .patterns import AccessPattern, Region, UniformRandom, Zipf
+
+
+def hot(region: Region, window: int, alpha: float, burst: int = 4) -> AccessPattern:
+    """Hot tier: skewed reuse inside a small window of a region."""
+    return Zipf(
+        region.subregion(0, min(window, region.num_pages)), alpha=alpha, burst=burst
+    )
+
+
+def wide(region: Region, window: int, burst: int = 3, offset: int = 256) -> AccessPattern:
+    """Wide flat tier: near-uniform reuse over more pages than L1 reach.
+
+    Placed past the hot window of the same region so the two do not
+    overlap.  Produces L1 misses that hit the L2 and gives the L1 TLB
+    utility at every LRU rank (keeps Lite at 4 ways).
+    """
+    offset = min(offset, max(region.num_pages - window, 0))
+    window = min(window, region.num_pages - offset)
+    return Zipf(region.subregion(offset, window), alpha=0.3, burst=burst)
+
+
+def warm(region: Region, window: int = 304, burst: int = 3, offset: int = 0) -> AccessPattern:
+    """Warm tier: uniform reuse over a window within L2 (not L1) reach."""
+    window = min(window, region.num_pages - offset)
+    return UniformRandom(region.subregion(offset, window), burst=burst)

@@ -1,0 +1,155 @@
+"""Trace file I/O: persist and reload reference streams.
+
+A saved trace is two files: ``<stem>.npy`` holding the int64 page-number
+array and ``<stem>.json`` holding the metadata the simulator needs to
+interpret it (instructions-per-access ratio, provenance, and the VMA
+layout required to rebuild a matching process).  This is the adoption
+path for users with real traces: convert a page-reference stream to this
+format and simulate it under any configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """Sidecar metadata for a saved trace."""
+
+    workload: str
+    instructions_per_access: float
+    seed: int | None = None
+    description: str = ""
+    vmas: list[dict] = field(default_factory=list)  # name/start_vpn/num_pages/thp
+
+    def to_json(self) -> dict:
+        return {
+            "format_version": FORMAT_VERSION,
+            "workload": self.workload,
+            "instructions_per_access": self.instructions_per_access,
+            "seed": self.seed,
+            "description": self.description,
+            "vmas": self.vmas,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TraceMetadata":
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version!r}")
+        return cls(
+            workload=payload["workload"],
+            instructions_per_access=payload["instructions_per_access"],
+            seed=payload.get("seed"),
+            description=payload.get("description", ""),
+            vmas=payload.get("vmas", []),
+        )
+
+
+def save_trace(stem, trace, metadata: TraceMetadata) -> tuple[Path, Path]:
+    """Write ``<stem>.npy`` + ``<stem>.json``; returns both paths."""
+    stem = Path(stem)
+    pages = np.asarray(trace, dtype=np.int64)
+    if pages.ndim != 1 or len(pages) == 0:
+        raise ValueError("trace must be a non-empty 1-D sequence")
+    if pages.min() < 0:
+        raise ValueError("page numbers must be non-negative")
+    npy_path = stem.with_suffix(".npy")
+    json_path = stem.with_suffix(".json")
+    np.save(npy_path, pages)
+    json_path.write_text(json.dumps(metadata.to_json(), indent=2) + "\n")
+    return npy_path, json_path
+
+
+def load_trace(stem) -> tuple[np.ndarray, TraceMetadata]:
+    """Load a trace saved by :func:`save_trace`."""
+    stem = Path(stem)
+    npy_path = stem.with_suffix(".npy")
+    json_path = stem.with_suffix(".json")
+    if not npy_path.exists() or not json_path.exists():
+        raise FileNotFoundError(f"missing {npy_path} or {json_path}")
+    pages = np.load(npy_path)
+    metadata = TraceMetadata.from_json(json.loads(json_path.read_text()))
+    return pages, metadata
+
+
+def export_workload_trace(workload, num_accesses: int, stem, seed: int = 0):
+    """Generate a workload's trace and persist it with full metadata."""
+    trace = workload.trace(num_accesses, seed=seed)
+    regions = workload.regions()
+    metadata = TraceMetadata(
+        workload=workload.name,
+        instructions_per_access=workload.instructions_per_access,
+        seed=seed,
+        description=workload.description,
+        vmas=[
+            {
+                "name": spec.name,
+                "start_vpn": regions[spec.name].start_vpn,
+                "num_pages": regions[spec.name].num_pages,
+                "thp_eligible": spec.thp_eligible,
+            }
+            for spec in workload.vma_specs
+        ],
+    )
+    return save_trace(stem, trace, metadata)
+
+
+def workload_from_metadata(metadata: TraceMetadata):
+    """Rebuild a :class:`repro.workloads.base.Workload`-compatible shell.
+
+    The returned object supports ``build_process`` (recreating the VMA
+    layout at the recorded addresses) so a loaded trace can be simulated
+    under any configuration; it cannot regenerate reference streams.
+    """
+    from ..workloads.base import Workload
+
+    if not metadata.vmas:
+        raise ValueError("metadata carries no VMA layout")
+
+    class _LoadedWorkload(Workload):
+        def __init__(self) -> None:
+            # Bypass the pattern-based constructor: layout is explicit.
+            self.name = metadata.workload
+            self.suite = "trace-file"
+            self.vma_specs = []
+            self.pattern_factory = None
+            self.instructions_per_access = metadata.instructions_per_access
+            self.tlb_intensive = False
+            self.description = metadata.description
+            self._layout = metadata.vmas
+
+        def regions(self):
+            from ..workloads.patterns import Region
+
+            return {
+                vma["name"]: Region(vma["start_vpn"], vma["num_pages"])
+                for vma in self._layout
+            }
+
+        def build_process(self, policy, physical=None):
+            from ..mem.process import Process
+
+            process = Process(physical=physical, policy=policy)
+            for vma in self._layout:
+                process.mmap(
+                    vma["num_pages"],
+                    name=vma["name"],
+                    at_vpn=vma["start_vpn"],
+                    thp_eligible=vma.get("thp_eligible", True),
+                )
+            return process
+
+        def trace(self, num_accesses, seed=0):
+            raise TypeError(
+                "trace-file workloads replay saved traces; use load_trace()"
+            )
+
+    return _LoadedWorkload()

@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.paging import DemandPaging, EagerPaging, TransparentHugePaging
+from repro.mem.physical import PhysicalMemory
+from repro.mem.process import Process
+
+
+@pytest.fixture
+def physical() -> PhysicalMemory:
+    """A small physical memory (1 GB) for fast allocator tests."""
+    return PhysicalMemory(total_bytes=1 << 30, seed=7)
+
+
+@pytest.fixture
+def demand_process() -> Process:
+    """Process with 4 KB demand paging over 1 GB of physical memory."""
+    return Process(PhysicalMemory(total_bytes=1 << 30, seed=7), DemandPaging())
+
+
+@pytest.fixture
+def thp_process() -> Process:
+    """Process with transparent huge pages."""
+    return Process(PhysicalMemory(total_bytes=1 << 30, seed=7), TransparentHugePaging())
+
+
+@pytest.fixture
+def eager_process() -> Process:
+    """Process with eager paging (THP redundant layout)."""
+    return Process(PhysicalMemory(total_bytes=1 << 30, seed=7), EagerPaging("thp"))
+
+
+@pytest.fixture
+def eager_4kb_process() -> Process:
+    """Process with eager paging (4 KB redundant layout, RMM_Lite style)."""
+    return Process(PhysicalMemory(total_bytes=1 << 30, seed=7), EagerPaging("4kb"))

@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "RMM_Lite" in out
+
+    def test_run_single_config(self, capsys):
+        assert main(["run", "povray", "--accesses", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "pJ/access" in out
+        assert "THP" in out
+
+    def test_run_multiple_configs(self, capsys):
+        assert (
+            main(["run", "povray", "--configs", "4KB", "RMM_Lite", "--accesses", "5000"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4KB" in out and "RMM_Lite" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "povray", "--accesses", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "energy vs 4KB" in out
+        assert "TLB_PP" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "RMM_Lite"]) == 0
+        out = capsys.readouterr().out
+        assert "L1-range" in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "not-a-workload"])
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["describe", "bogus"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

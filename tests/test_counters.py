@@ -1,0 +1,112 @@
+"""Tests for Lite's LRU-distance counters, including the exactness property.
+
+Under true LRU, the stack inclusion property makes the counter-based miss
+prediction exact: the misses a w-way TLB would have had equal the actual
+misses of the n-way TLB plus all hits at stack ranks >= w.  This is the
+core correctness argument of the paper's monitoring mechanism (Figure 6),
+verified here against brute-force replay.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counters import LRUDistanceCounters
+from repro.tlb.set_assoc import SetAssociativeTLB
+
+
+class TestCounterBasics:
+    def test_counter_count(self):
+        assert len(LRUDistanceCounters(1).raw) == 1
+        assert len(LRUDistanceCounters(4).raw) == 3
+        assert len(LRUDistanceCounters(8).raw) == 4
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            LRUDistanceCounters(6)
+        with pytest.raises(ValueError):
+            LRUDistanceCounters(0)
+
+    def test_grouping_matches_figure6(self):
+        counters = LRUDistanceCounters(8)
+        for rank in range(8):
+            counters.record(rank)
+        # Figure 6 groups (by rank from MRU): {0}, {1}, {2,3}, {4..7}.
+        assert counters.raw == [1, 1, 2, 4]
+
+    def test_record_range_checked(self):
+        counters = LRUDistanceCounters(4)
+        with pytest.raises(ValueError):
+            counters.record(4)
+        with pytest.raises(ValueError):
+            counters.record(-1)
+
+    def test_extra_misses(self):
+        counters = LRUDistanceCounters(8)
+        for rank in range(8):
+            counters.record(rank)
+        assert counters.extra_misses(8) == 0
+        assert counters.extra_misses(4) == 4  # ranks 4-7
+        assert counters.extra_misses(2) == 6  # ranks 2-7
+        assert counters.extra_misses(1) == 7  # ranks 1-7
+
+    def test_reset_and_total(self):
+        counters = LRUDistanceCounters(4)
+        counters.record(0)
+        counters.record(3)
+        assert counters.total_hits == 2
+        counters.reset()
+        assert counters.total_hits == 0
+        assert counters.raw == [0, 0, 0]
+
+
+def run_with_counters(keys, sets, ways):
+    """Feed keys through a TLB with attached counters; return (misses, counters)."""
+    tlb = SetAssociativeTLB("t", sets * ways, ways)
+    counters = LRUDistanceCounters(ways)
+    tlb.hit_rank_counters = counters.raw
+    misses = 0
+    for key in keys:
+        if tlb.lookup(key) is None:
+            misses += 1
+            tlb.fill(key, key)
+    return misses, counters
+
+
+def run_plain(keys, sets, ways):
+    tlb = SetAssociativeTLB("t", sets * ways, ways)
+    misses = 0
+    for key in keys:
+        if tlb.lookup(key) is None:
+            misses += 1
+            tlb.fill(key, key)
+    return misses
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=400),
+    ways_exp=st.integers(min_value=0, max_value=3),
+)
+def test_prediction_is_exact_under_lru(keys, ways_exp):
+    """Predicted misses for every smaller power-of-two way count equal the
+    actual misses of the correspondingly smaller TLB (same set count)."""
+    ways = 1 << ways_exp
+    sets = 4
+    misses, counters = run_with_counters(keys, sets, ways)
+    smaller = ways
+    while smaller >= 1:
+        predicted = misses + counters.extra_misses(smaller)
+        actual = run_plain(keys, sets, smaller)
+        assert predicted == actual, (ways, smaller)
+        smaller //= 2
+
+
+def test_prediction_exact_on_adversarial_cyclic_pattern():
+    """Cyclic over exactly `ways` lines per set: full hits, 1-way thrashes."""
+    sets, ways = 4, 4
+    keys = [s + 4 * w for _ in range(20) for w in range(ways) for s in range(sets)]
+    misses, counters = run_with_counters(keys, sets, ways)
+    assert misses == sets * ways  # compulsory only
+    for smaller in (2, 1):
+        assert misses + counters.extra_misses(smaller) == run_plain(keys, sets, smaller)

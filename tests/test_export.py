@@ -1,0 +1,80 @@
+"""Tests for CSV/JSON result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings, run_matrix
+from repro.analysis.export import flatten_result, results_to_records, write_csv, write_json
+from repro.workloads.base import VMASpec, Workload
+from repro.workloads.patterns import Zipf
+
+
+@pytest.fixture(scope="module")
+def results():
+    workload = Workload(
+        "exp",
+        "TEST",
+        [VMASpec("heap", 6), VMASpec("stack", 1, thp_eligible=False)],
+        lambda regions: Zipf(regions["heap"].subregion(0, 24), alpha=1.1, burst=3),
+        instructions_per_access=3.0,
+    )
+    settings = ExperimentSettings(trace_accesses=8_000, physical_bytes=1 << 28)
+    return run_matrix([workload], ("4KB", "THP", "RMM_Lite"), settings)
+
+
+class TestFlatten:
+    def test_core_fields(self, results):
+        record = flatten_result(results[("exp", "THP")])
+        assert record["configuration"] == "THP"
+        assert record["workload"] == "exp"
+        assert record["accesses"] > 0
+        assert record["energy_total_pj"] == pytest.approx(
+            results[("exp", "THP")].total_energy_pj
+        )
+
+    def test_components_present(self, results):
+        record = flatten_result(results[("exp", "THP")])
+        assert "energy_l1_page_tlbs_pj" in record
+        assert "energy_page_walk_pj" in record
+
+    def test_per_structure_fields(self, results):
+        record = flatten_result(results[("exp", "RMM_Lite")])
+        assert "lookups_l1_range" in record
+        assert "hits_l1_range" in record
+
+    def test_records_from_matrix(self, results):
+        records = results_to_records(results)
+        assert len(records) == 3
+        assert {r["configuration"] for r in records} == {"4KB", "THP", "RMM_Lite"}
+
+    def test_records_from_list(self, results):
+        records = results_to_records(list(results.values())[:2])
+        assert len(records) == 2
+
+
+class TestWriters:
+    def test_csv_roundtrip(self, results, tmp_path):
+        path = write_csv(tmp_path / "out.csv", results)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        by_config = {row["configuration"]: row for row in rows}
+        assert float(by_config["THP"]["energy_total_pj"]) == pytest.approx(
+            results[("exp", "THP")].total_energy_pj
+        )
+        # Union-of-columns: configs without a structure leave it blank.
+        assert by_config["THP"].get("lookups_l1_range", "") == ""
+
+    def test_json_roundtrip(self, results, tmp_path):
+        path = write_json(tmp_path / "out.json", results)
+        records = json.loads(path.read_text())
+        assert len(records) == 3
+        assert all("l1_mpki" in record for record in records)
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "x.csv", {})
+        with pytest.raises(ValueError):
+            write_json(tmp_path / "x.json", [])

@@ -1,0 +1,158 @@
+"""Integration tests asserting the paper's headline shapes end-to-end.
+
+These run scaled-down versions of the Figure 10 pipeline over real
+workload models and check the *qualitative* results the paper reports:
+who wins, in which direction, and by roughly what kind of factor.  The
+benchmark harness regenerates the full-size numbers.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings, run_matrix
+from repro.core.organizations import CONFIG_NAMES
+from repro.workloads.registry import get_workload
+
+SETTINGS = ExperimentSettings(trace_accesses=120_000)
+WORKLOADS = ("mcf", "omnetpp", "cactusADM", "canneal")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_matrix([get_workload(name) for name in WORKLOADS], CONFIG_NAMES, SETTINGS)
+
+
+def energy(results, workload, config):
+    return results[(workload, config)].total_energy_pj
+
+
+class TestTHPShapes:
+    def test_thp_slashes_miss_cycles(self, results):
+        """THP cuts TLB-miss cycles heavily vs 4KB (paper: -83% average)."""
+        for workload in ("mcf", "omnetpp", "cactusADM"):
+            assert (
+                results[(workload, "THP")].miss_cycles
+                < 0.7 * results[(workload, "4KB")].miss_cycles
+            )
+
+    def test_thp_decreases_energy_only_for_walk_bound_workloads(self, results):
+        """Paper Section 3.3: energy drops for cactusADM/mcf, rises for canneal."""
+        assert energy(results, "cactusADM", "THP") < energy(results, "cactusADM", "4KB")
+        assert energy(results, "mcf", "THP") < energy(results, "mcf", "4KB")
+        assert energy(results, "canneal", "THP") > energy(results, "canneal", "4KB")
+
+    def test_walk_energy_dominates_4kb_for_mcf_and_cactus(self, results):
+        for workload in ("mcf", "cactusADM"):
+            breakdown = results[(workload, "4KB")].energy
+            assert breakdown.fraction("page_walk") > 0.4
+
+    def test_l1_tlbs_dominate_thp_energy(self, results):
+        """Section 3.2: with THP the L1 TLBs are the main dynamic source.
+
+        mcf and canneal retain residual walks under THP (their footprints
+        defeat even 2 MB reach), so the L1 share is lower there.
+        """
+        for workload in ("omnetpp", "cactusADM"):
+            breakdown = results[(workload, "THP")].energy
+            assert breakdown.l1_tlb_pj / breakdown.total_pj > 0.6
+        for workload in ("mcf", "canneal"):
+            breakdown = results[(workload, "THP")].energy
+            assert breakdown.l1_tlb_pj / breakdown.total_pj > 0.35
+
+
+class TestTLBLiteShapes:
+    def test_saves_energy_vs_thp(self, results):
+        """TLB_Lite reduces dynamic energy vs THP (paper: -23% average)."""
+        ratios = [
+            energy(results, w, "TLB_Lite") / energy(results, w, "THP")
+            for w in WORKLOADS
+        ]
+        assert sum(ratios) / len(ratios) < 0.95
+        assert all(ratio <= 1.01 for ratio in ratios)
+
+    def test_modest_performance_cost(self, results):
+        """Miss cycles stay in THP's ballpark (paper: 16.6% -> 17.2%)."""
+        for workload in WORKLOADS:
+            lite = results[(workload, "TLB_Lite")].miss_cycles
+            thp = results[(workload, "THP")].miss_cycles
+            base = results[(workload, "4KB")].miss_cycles
+            assert lite - thp < 0.25 * base
+
+    def test_omnetpp_and_canneal_keep_all_ways(self, results):
+        """Table 5: flat, wide hot sets pin the L1-4KB TLB at 4 ways."""
+        for workload in ("omnetpp", "canneal"):
+            shares = results[(workload, "TLB_Lite")].way_lookup_shares("L1-4KB")
+            assert shares.get(4, 0) > 0.9
+
+    def test_mcf_downsizes_4kb_tlb(self, results):
+        """Table 5: mcf runs its L1-4KB TLB mostly below 4 ways."""
+        shares = results[("mcf", "TLB_Lite")].way_lookup_shares("L1-4KB")
+        assert shares.get(4, 0) < 0.5
+
+
+class TestRMMShapes:
+    def test_rmm_eliminates_walks(self, results):
+        """Eager-paged ranges make L2 misses near-zero (paper Section 3.4)."""
+        for workload in WORKLOADS:
+            result = results[(workload, "RMM")]
+            assert result.l2_mpki < 0.05
+            assert result.energy.by_component["page_walk"] < 0.02 * result.total_energy_pj
+
+    def test_rmm_l1_energy_stays_high(self, results):
+        """RMM keeps probing both L1 TLBs: energy stays THP-like."""
+        for workload in WORKLOADS:
+            ratio = energy(results, workload, "RMM") / energy(results, workload, "THP")
+            assert 0.5 < ratio < 1.3
+
+    def test_range_walks_cost_energy_but_no_cycles(self, results):
+        result = results[("mcf", "RMM")]
+        assert result.range_walk_refs > 0
+        # Cycle model has no range-walk term: cycles == 7*L1 + 50*L2.
+        assert result.miss_cycles == result.l1_misses * 7 + result.l2_misses * 50
+
+
+class TestRMMLiteShapes:
+    def test_biggest_energy_reduction(self, results):
+        """RMM_Lite wins overall (paper: -71% vs THP on average)."""
+        for workload in WORKLOADS:
+            ratio = energy(results, workload, "RMM_Lite") / energy(results, workload, "THP")
+            assert ratio < 0.75, workload
+        average = sum(
+            energy(results, w, "RMM_Lite") / energy(results, w, "THP") for w in WORKLOADS
+        ) / len(WORKLOADS)
+        assert average < 0.55
+
+    def test_l1_miss_cycles_nearly_eliminated(self, results):
+        """Paper: -99% of L1-TLB-miss overhead on top of RMM's L2 wins."""
+        for workload in WORKLOADS:
+            lite = results[(workload, "RMM_Lite")].cycles.l1_miss_cycles
+            thp = results[(workload, "THP")].cycles.l1_miss_cycles
+            assert lite < 0.25 * max(thp, 1), workload
+
+    def test_range_tlb_serves_most_hits(self, results):
+        """Table 5: the L1-range TLB dominates hit attribution."""
+        for workload in WORKLOADS:
+            shares = results[(workload, "RMM_Lite")].hit_shares()
+            assert shares.get("L1-range", 0) > 0.6, workload
+
+    def test_l2_misses_near_zero(self, results):
+        for workload in WORKLOADS:
+            assert results[(workload, "RMM_Lite")].l2_mpki < 0.05
+
+
+class TestTLBPPShapes:
+    def test_tlb_pp_between_thp_and_rmm_lite(self, results):
+        """TLB_PP saves energy vs THP but RMM_Lite beats it on average."""
+        pp_ratios = []
+        for workload in WORKLOADS:
+            pp = energy(results, workload, "TLB_PP") / energy(results, workload, "THP")
+            pp_ratios.append(pp)
+            assert pp < 1.0
+        rmm_lite_avg = sum(
+            energy(results, w, "RMM_Lite") / energy(results, w, "THP") for w in WORKLOADS
+        ) / len(WORKLOADS)
+        assert rmm_lite_avg < sum(pp_ratios) / len(pp_ratios)
+
+    def test_single_structure_probed(self, results):
+        stats = results[("mcf", "TLB_PP")].structure_stats
+        assert stats["L1-mixed"].lookups == results[("mcf", "TLB_PP")].accesses
+        assert "L1-4KB" not in stats

@@ -1,0 +1,124 @@
+"""Cross-cutting invariants of the full simulation pipeline.
+
+These properties tie the layers together: counter conservation between
+the hierarchy levels, energy-accounting reconstruction, and attribution
+completeness — for every configuration, over randomised workloads.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import ExperimentSettings, run_workload_config_with_org
+from repro.core.organizations import EXTENDED_CONFIG_NAMES
+from repro.energy.model import EnergyModel
+from repro.workloads.base import VMASpec, Workload
+from repro.workloads.patterns import Mixture, SequentialScan, UniformRandom, Zipf
+
+
+def small_workload(seed: int) -> Workload:
+    def pattern(regions):
+        heap = regions["heap"]
+        return Mixture(
+            [
+                (Zipf(heap.subregion(0, 40), alpha=1.1, burst=3), 0.5),
+                (UniformRandom(heap, burst=2), 0.3),
+                (SequentialScan(heap, stride_pages=1, burst=8), 0.2),
+            ]
+        )
+
+    return Workload(
+        f"inv-{seed}",
+        "TEST",
+        [VMASpec("heap", 20), VMASpec("stack", 1, thp_eligible=False)],
+        pattern,
+        instructions_per_access=3.0,
+    )
+
+
+def run(config, seed):
+    settings_ = ExperimentSettings(
+        trace_accesses=12_000, seed=seed, physical_bytes=1 << 28
+    )
+    return run_workload_config_with_org(small_workload(seed), config, settings_)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    config=st.sampled_from(EXTENDED_CONFIG_NAMES),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_pipeline_invariants(config, seed):
+    result, organization = run(config, seed)
+    hierarchy = organization.hierarchy
+    stats = result.structure_stats
+
+    # --- miss-counter conservation across levels ------------------------
+    # Every L1 miss triggers exactly one L2 page-TLB probe.
+    l2_name = next(name for name in stats if name.startswith("L2-") and "range" not in name)
+    assert stats[l2_name].lookups == result.l1_misses
+    # Every full L2 miss triggers exactly one walk.
+    assert result.page_walks == result.l2_misses
+    # MMU caches are probed once per walk, in parallel.
+    assert stats["MMU-cache-PDE"].lookups == result.l2_misses
+    assert stats["MMU-cache-PML4"].lookups == result.l2_misses
+    # Walk references: 1..4 memory reads per walk.
+    assert result.l2_misses <= result.page_walk_refs <= 4 * result.l2_misses
+
+    # --- attribution completeness ---------------------------------------
+    assert sum(result.hit_attribution.values()) == result.accesses - result.l1_misses
+
+    # --- energy reconstruction -------------------------------------------
+    # Recomputing from the recorded per-structure stats reproduces the
+    # reported breakdown exactly.
+    model = EnergyModel()
+    recomputed = model.compute(
+        organization.bindings,
+        page_walk_refs=result.page_walk_refs,
+        range_walk_refs=result.range_walk_refs,
+    )
+    assert recomputed.total_pj == pytest.approx(result.total_energy_pj)
+
+    # --- cycle model -----------------------------------------------------
+    assert result.miss_cycles == 7 * result.l1_misses + 50 * result.l2_misses
+
+    # --- timeline reconciliation ------------------------------------------
+    if result.timeline:
+        window = result.accesses // len(result.timeline)
+        window_instr = round(window * 3.0)
+        from_timeline = sum(s.l1_mpki * window_instr / 1000 for s in result.timeline)
+        assert from_timeline == pytest.approx(result.l1_misses, abs=1.0)
+
+    # --- range configurations ---------------------------------------------
+    if config in ("RMM", "RMM_Lite", "RMM_PP_Lite"):
+        # Background range walks happen on every full L2 miss.
+        assert result.range_walk_refs >= result.l2_misses
+    else:
+        assert result.range_walk_refs == 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=30))
+def test_l1_probe_energy_charged_every_access(seed):
+    """Enabled L1 structures are probed on *every* access (no early exit)."""
+    result, organization = run("THP", seed)
+    stats = result.structure_stats
+    assert stats["L1-4KB"].lookups == result.accesses
+    # The 2MB TLB enables at its first huge-page walk (during warm-up
+    # here), after which it is probed every access too.
+    assert stats["L1-2MB"].lookups == result.accesses
+    # The 1GB TLB never enables: zero lookups, zero energy.
+    assert stats["L1-1GB"].lookups == 0
+    assert result.energy.by_structure["L1-1GB"] == 0.0
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=30))
+def test_determinism_across_runs(seed):
+    """Identical settings produce bit-identical results."""
+    first, _ = run("RMM_Lite", seed)
+    second, _ = run("RMM_Lite", seed)
+    assert first.l1_misses == second.l1_misses
+    assert first.l2_misses == second.l2_misses
+    assert first.total_energy_pj == second.total_energy_pj
+    assert first.hit_attribution == second.hit_attribution

@@ -1,0 +1,218 @@
+"""Tests for the Lite controller: decision algorithm, reactivation, knobs."""
+
+import pytest
+
+from repro.core.lite import LiteController, ResizableUnit
+from repro.core.params import LiteParams
+from repro.tlb.fully_assoc import FullyAssociativeTLB
+from repro.tlb.set_assoc import SetAssociativeTLB
+
+
+def make_controller(**overrides):
+    defaults = dict(
+        interval_instructions=1000,
+        threshold_mode="relative",
+        epsilon_relative=0.125,
+        reactivate_probability=0.0,  # deterministic by default
+        seed=0,
+    )
+    defaults.update(overrides)
+    params = LiteParams(**defaults)
+    tlb = SetAssociativeTLB("L1-4KB", 64, 4)
+    controller = LiteController([tlb], params, record_history=True)
+    return controller, tlb
+
+
+def feed_counters(controller, name, per_group):
+    """Directly set the interval's LRU-distance counters."""
+    raw = controller.counters[name].raw
+    for index, value in enumerate(per_group):
+        raw[index] = value
+
+
+class TestDecision:
+    def test_downsizes_when_deep_ways_useless(self):
+        controller, tlb = make_controller()
+        # 1000 hits all at MRU; zero utility beyond way 0.
+        feed_counters(controller, "L1-4KB", [1000, 0, 0])
+        action = controller.end_interval(l1_misses=100, instructions=1000)
+        assert action == "decide"
+        assert tlb.active_ways == 1
+
+    def test_keeps_ways_with_deep_utility(self):
+        controller, tlb = make_controller()
+        feed_counters(controller, "L1-4KB", [500, 200, 300])
+        controller.end_interval(l1_misses=100, instructions=1000)
+        assert tlb.active_ways == 4
+
+    def test_partial_downsize_to_two_ways(self):
+        controller, tlb = make_controller()
+        # Going to 2 ways loses only the rank-2-3 hits (5, under 12.5% of
+        # 100 misses); going to 1 way would also lose the 300 rank-1 hits.
+        feed_counters(controller, "L1-4KB", [500, 300, 5])
+        controller.end_interval(l1_misses=100, instructions=1000)
+        assert tlb.active_ways == 2
+
+    def test_threshold_is_relative_to_actual_mpki(self):
+        controller, tlb = make_controller()
+        # 50 extra misses vs 1000 actual: 5% < 12.5% -> allowed.
+        feed_counters(controller, "L1-4KB", [0, 50, 50])
+        controller.end_interval(l1_misses=1000, instructions=1000)
+        assert tlb.active_ways == 1
+
+    def test_zero_actual_mpki_allows_only_free_downsizing(self):
+        controller, tlb = make_controller()
+        # Relative threshold at 0 MPKI is 0: halving to 2 ways costs
+        # nothing (no rank-2-3 hits) but 1 way would add one miss.
+        feed_counters(controller, "L1-4KB", [100, 1, 0])
+        controller.end_interval(l1_misses=0, instructions=1000)
+        assert tlb.active_ways == 2
+
+    def test_absolute_threshold_permits_tiny_increase(self):
+        controller, tlb = make_controller(
+            threshold_mode="absolute", epsilon_absolute=0.1
+        )
+        # 0 actual misses; rank>=1 hits would add 0.05 MPKI < 0.1.
+        feed_counters(controller, "L1-4KB", [100, 5, 0])
+        controller.end_interval(l1_misses=0, instructions=100_000)
+        assert tlb.active_ways == 1
+
+    def test_absolute_threshold_blocks_larger_increase(self):
+        controller, tlb = make_controller(
+            threshold_mode="absolute", epsilon_absolute=0.1
+        )
+        # 2 ways adds 0.03 MPKI (<= 0.1); 1 way would add 0.53: settle at 2.
+        feed_counters(controller, "L1-4KB", [100, 50, 3])
+        controller.end_interval(l1_misses=0, instructions=100_000)
+        assert tlb.active_ways == 2
+
+    def test_min_ways_respected(self):
+        controller, tlb = make_controller(min_ways=2)
+        feed_counters(controller, "L1-4KB", [1000, 0, 0])
+        controller.end_interval(l1_misses=100, instructions=1000)
+        assert tlb.active_ways == 2
+
+    def test_never_fully_disables(self):
+        controller, tlb = make_controller()
+        for _ in range(5):
+            controller.end_interval(l1_misses=0, instructions=1000)
+        assert tlb.active_ways >= 1
+
+
+class TestReactivation:
+    def test_degradation_reactivates_all_ways(self):
+        controller, tlb = make_controller()
+        feed_counters(controller, "L1-4KB", [1000, 0, 0])
+        controller.end_interval(l1_misses=10, instructions=1000)
+        assert tlb.active_ways == 1
+        # MPKI jumps 10 -> 100: beyond 12.5% over previous.
+        action = controller.end_interval(l1_misses=100, instructions=1000)
+        assert action == "degradation-reactivate"
+        assert tlb.active_ways == 4
+
+    def test_small_degradation_tolerated(self):
+        controller, tlb = make_controller()
+        feed_counters(controller, "L1-4KB", [1000, 0, 0])
+        controller.end_interval(l1_misses=100, instructions=1000)
+        assert tlb.active_ways == 1
+        action = controller.end_interval(l1_misses=105, instructions=1000)
+        assert action == "decide"
+        assert tlb.active_ways == 1
+
+    def test_random_reactivation_fires_with_probability_one(self):
+        controller, tlb = make_controller(reactivate_probability=1.0)
+        tlb.set_active_ways(1)
+        action = controller.end_interval(l1_misses=0, instructions=1000)
+        assert action == "random-reactivate"
+        assert tlb.active_ways == 4
+        assert controller.stats.random_reactivations == 1
+
+    def test_random_reactivation_rate_statistical(self):
+        controller, _tlb = make_controller(reactivate_probability=0.25, seed=9)
+        for _ in range(400):
+            controller.end_interval(l1_misses=0, instructions=1000)
+        rate = controller.stats.random_reactivations / 400
+        assert 0.15 < rate < 0.35
+
+    def test_counters_reset_each_interval(self):
+        controller, _tlb = make_controller()
+        feed_counters(controller, "L1-4KB", [5, 5, 5])
+        controller.end_interval(l1_misses=10, instructions=1000)
+        assert controller.counters["L1-4KB"].total_hits == 0
+
+
+class TestBookkeeping:
+    def test_history_records(self):
+        controller, _tlb = make_controller()
+        controller.end_interval(l1_misses=50, instructions=1000)
+        controller.end_interval(l1_misses=60, instructions=1000)
+        assert len(controller.history) == 2
+        record = controller.history[0]
+        assert record.actual_mpki == 50.0
+        # Records capture the post-decision configuration (all counters
+        # were zero, so Lite downsized to 1 way for free).
+        assert record.active_units == {"L1-4KB": 1}
+        assert controller.history[1].instructions_seen == 2000
+
+    def test_active_configuration(self):
+        controller, tlb = make_controller()
+        assert controller.active_configuration() == {"L1-4KB": 4}
+        tlb.set_active_ways(2)
+        assert controller.active_configuration() == {"L1-4KB": 2}
+
+    def test_invalid_interval_rejected(self):
+        controller, _tlb = make_controller()
+        with pytest.raises(ValueError):
+            controller.end_interval(l1_misses=0, instructions=0)
+
+    def test_multiple_tlbs_decided_independently(self):
+        params = LiteParams(
+            interval_instructions=1000, reactivate_probability=0.0, seed=0
+        )
+        a = SetAssociativeTLB("A", 64, 4)
+        b = SetAssociativeTLB("B", 32, 4)
+        controller = LiteController([a, b], params)
+        controller.counters["A"].raw[:] = [1000, 0, 0]
+        controller.counters["B"].raw[:] = [0, 400, 400]
+        controller.end_interval(l1_misses=100, instructions=1000)
+        assert a.active_ways == 1
+        assert b.active_ways == 4
+
+    def test_downsize_counter(self):
+        controller, _tlb = make_controller()
+        feed_counters(controller, "L1-4KB", [1000, 0, 0])
+        controller.end_interval(l1_misses=100, instructions=1000)
+        assert controller.stats.downsizes == 1
+
+
+class TestResizableUnit:
+    def test_set_assoc_adapter(self):
+        tlb = SetAssociativeTLB("t", 64, 4)
+        unit = ResizableUnit(tlb)
+        assert unit.max_units == 4
+        unit.resize(2)
+        assert tlb.active_ways == 2
+
+    def test_fully_assoc_adapter(self):
+        tlb = FullyAssociativeTLB("t", 8)
+        unit = ResizableUnit(tlb)
+        assert unit.max_units == 8
+        unit.resize(2)
+        assert tlb.active_entries == 2
+
+    def test_fully_assoc_lite_integration(self):
+        """Section 4.4: Lite drives a fully-associative TLB by capacity."""
+        params = LiteParams(interval_instructions=1000, reactivate_probability=0.0)
+        tlb = FullyAssociativeTLB("fa", 8)
+        controller = LiteController([tlb], params)
+        controller.counters["fa"].raw[:] = [1000, 0, 0, 0]
+        controller.end_interval(l1_misses=100, instructions=1000)
+        assert tlb.active_entries == 1
+
+    def test_non_power_of_two_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResizableUnit(FullyAssociativeTLB("t", 6))
+
+    def test_unresizable_rejected(self):
+        with pytest.raises(TypeError):
+            ResizableUnit(object())

@@ -1,0 +1,94 @@
+"""Unit tests for the paging-structure caches (MMU cache)."""
+
+from repro.mmu.mmu_cache import MMUCache, MMUCacheConfig
+from repro.mmu.translation import PageSize
+
+
+def sync(cache):
+    for structure in cache.structures:
+        structure.sync_stats()
+
+
+class TestProbe:
+    def test_cold_probe_skips_nothing(self):
+        cache = MMUCache()
+        assert cache.probe(12345, PageSize.SIZE_4KB) == 0
+
+    def test_all_structures_charged_per_probe(self):
+        cache = MMUCache()
+        cache.probe(1, PageSize.SIZE_4KB)
+        cache.probe(2, PageSize.SIZE_2MB)
+        sync(cache)
+        for structure in cache.structures:
+            assert structure.stats.lookups == 2
+
+    def test_pde_hit_skips_three_levels_for_4kb(self):
+        cache = MMUCache()
+        cache.fill(1000, PageSize.SIZE_4KB)
+        assert cache.probe(1000, PageSize.SIZE_4KB) == 3
+        # A different page in the same 2MB region shares the PDE.
+        assert cache.probe(1001, PageSize.SIZE_4KB) == 3
+
+    def test_pde_hit_does_not_help_2mb_walk(self):
+        cache = MMUCache()
+        cache.fill(1000, PageSize.SIZE_4KB)  # fills PDE+PDPTE+PML4
+        # For a 2MB page the PDE is the leaf; best help is the PDPTE.
+        assert cache.probe(1000, PageSize.SIZE_2MB) == 2
+
+    def test_pdpte_hit_does_not_help_1gb_walk(self):
+        cache = MMUCache()
+        cache.fill(1000, PageSize.SIZE_2MB)  # fills PDPTE+PML4
+        assert cache.probe(1000, PageSize.SIZE_1GB) == 1  # PML4 only
+
+    def test_pml4_hit_only(self):
+        cache = MMUCache()
+        cache.fill(0, PageSize.SIZE_1GB)  # fills PML4 only
+        assert cache.probe(0, PageSize.SIZE_4KB) == 1
+
+    def test_different_pml4_region_misses(self):
+        cache = MMUCache()
+        cache.fill(0, PageSize.SIZE_4KB)
+        far = 1 << 27  # different PML4 entry
+        assert cache.probe(far, PageSize.SIZE_4KB) == 0
+
+
+class TestFill:
+    def test_fill_levels_by_size(self):
+        cache = MMUCache()
+        cache.fill(0, PageSize.SIZE_1GB)
+        sync(cache)
+        assert cache.pml4.stats.fills == 1
+        assert cache.pdpte.stats.fills == 0
+        cache.fill(0, PageSize.SIZE_2MB)
+        sync(cache)
+        assert cache.pdpte.stats.fills == 1
+        assert cache.pde.stats.fills == 0
+        cache.fill(0, PageSize.SIZE_4KB)
+        sync(cache)
+        assert cache.pde.stats.fills == 1
+
+    def test_refill_of_present_entry_free(self):
+        cache = MMUCache()
+        cache.fill(0, PageSize.SIZE_4KB)
+        cache.fill(1, PageSize.SIZE_4KB)  # same PDE/PDPTE/PML4
+        sync(cache)
+        assert cache.pde.stats.fills == 1
+        assert cache.pml4.stats.fills == 1
+
+    def test_capacity_eviction_in_pml4(self):
+        cache = MMUCache()
+        for region in range(3):  # PML4 cache holds 2 entries
+            cache.fill(region << 27, PageSize.SIZE_1GB)
+        assert cache.probe(0, PageSize.SIZE_4KB) == 0  # evicted
+
+    def test_flush(self):
+        cache = MMUCache()
+        cache.fill(0, PageSize.SIZE_4KB)
+        cache.flush()
+        assert cache.probe(0, PageSize.SIZE_4KB) == 0
+
+    def test_custom_config(self):
+        cache = MMUCache(MMUCacheConfig(pde_entries=8, pde_ways=2, pdpte_entries=2, pml4_entries=1))
+        assert cache.pde.entries == 8
+        assert cache.pdpte.entries == 2
+        assert cache.pml4.entries == 1

@@ -1,0 +1,143 @@
+"""Unit tests for the four-level radix page table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mmu.page_table import PageFault, PageTable
+from repro.mmu.translation import PAGES_PER_2MB, PageSize, Translation
+
+
+class TestMapping:
+    def test_map_and_lookup_4kb(self):
+        pt = PageTable()
+        pt.map(Translation(42, 99, PageSize.SIZE_4KB))
+        leaf = pt.lookup(42)
+        assert leaf.pfn == 99
+        assert pt.lookup(43) is None
+
+    def test_map_and_lookup_2mb(self):
+        pt = PageTable()
+        pt.map(Translation(512, 1024, PageSize.SIZE_2MB))
+        assert pt.lookup(512).page_size is PageSize.SIZE_2MB
+        assert pt.lookup(1023) is pt.lookup(512)
+        assert pt.lookup(1024) is None
+
+    def test_map_and_lookup_1gb(self):
+        pt = PageTable()
+        size = PageSize.SIZE_1GB
+        pt.map(Translation(int(size), 0, size))
+        assert pt.lookup(int(size) + 12345).page_size is size
+
+    def test_translate(self):
+        pt = PageTable()
+        pt.map(Translation(512, 2048, PageSize.SIZE_2MB))
+        assert pt.translate(600) == 2048 + 88
+
+    def test_double_map_rejected(self):
+        pt = PageTable()
+        pt.map(Translation(7, 1, PageSize.SIZE_4KB))
+        with pytest.raises(ValueError):
+            pt.map(Translation(7, 2, PageSize.SIZE_4KB))
+
+    def test_4kb_under_huge_page_rejected(self):
+        pt = PageTable()
+        pt.map(Translation(0, 0, PageSize.SIZE_2MB))
+        with pytest.raises(ValueError):
+            pt.map(Translation(5, 1, PageSize.SIZE_4KB))
+
+    def test_huge_page_over_4kb_rejected(self):
+        pt = PageTable()
+        pt.map(Translation(5, 1, PageSize.SIZE_4KB))
+        with pytest.raises(ValueError):
+            pt.map(Translation(0, 0, PageSize.SIZE_2MB))
+
+    def test_walk_raises_on_unmapped(self):
+        pt = PageTable()
+        with pytest.raises(PageFault) as excinfo:
+            pt.walk(1234)
+        assert excinfo.value.vpn4k == 1234
+
+
+class TestUnmapping:
+    def test_unmap_returns_leaf(self):
+        pt = PageTable()
+        pt.map(Translation(42, 99, PageSize.SIZE_4KB))
+        leaf = pt.unmap(42)
+        assert leaf.pfn == 99
+        assert pt.lookup(42) is None
+
+    def test_unmap_huge_by_interior_page(self):
+        pt = PageTable()
+        pt.map(Translation(512, 1024, PageSize.SIZE_2MB))
+        leaf = pt.unmap(700)  # any page inside works
+        assert leaf.page_size is PageSize.SIZE_2MB
+        assert pt.lookup(512) is None
+
+    def test_unmap_unmapped_raises(self):
+        pt = PageTable()
+        with pytest.raises(PageFault):
+            pt.unmap(1)
+
+    def test_mapped_bytes_accounting(self):
+        pt = PageTable()
+        pt.map(Translation(0, 0, PageSize.SIZE_2MB))
+        pt.map(Translation(PAGES_PER_2MB, 600, PageSize.SIZE_4KB))
+        assert pt.mapped_bytes == (2 << 20) + 4096
+        pt.unmap(0)
+        assert pt.mapped_bytes == 4096
+
+
+class TestIntrospection:
+    def test_iter_translations_in_address_order(self):
+        pt = PageTable()
+        pt.map(Translation(1024, 4096, PageSize.SIZE_2MB))
+        pt.map(Translation(5, 1, PageSize.SIZE_4KB))
+        pt.map(Translation(3, 2, PageSize.SIZE_4KB))
+        vpns = [t.vpn for t in pt.iter_translations()]
+        assert vpns == [3, 5, 1024]
+
+    def test_count_nodes(self):
+        pt = PageTable()
+        pt.map(Translation(0, 0, PageSize.SIZE_4KB))
+        counts = pt.count_nodes()
+        assert counts == {4: 1, 3: 1, 2: 1, 1: 1}
+        pt.map(Translation(PAGES_PER_2MB, 512, PageSize.SIZE_2MB))
+        counts = pt.count_nodes()
+        assert counts[1] == 1  # 2MB leaf lives at level 2, no new PT node
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    vpns=st.lists(
+        st.integers(min_value=0, max_value=1 << 24), min_size=1, max_size=60, unique=True
+    )
+)
+def test_map_lookup_unmap_roundtrip(vpns):
+    pt = PageTable()
+    for index, vpn in enumerate(vpns):
+        pt.map(Translation(vpn, index * 2, PageSize.SIZE_4KB))
+    for index, vpn in enumerate(vpns):
+        assert pt.translate(vpn) == index * 2
+    assert sorted(t.vpn for t in pt.iter_translations()) == sorted(vpns)
+    for vpn in vpns:
+        pt.unmap(vpn)
+    assert pt.mapped_bytes == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(chunks=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=30, unique=True))
+def test_mixed_sizes_cover_disjoint_pages(chunks):
+    """Alternating 2MB/4KB mappings translate consistently."""
+    pt = PageTable()
+    expected = {}
+    for index, chunk in enumerate(chunks):
+        base = chunk * PAGES_PER_2MB
+        if index % 2 == 0:
+            pt.map(Translation(base, base + PAGES_PER_2MB, PageSize.SIZE_2MB))
+            expected[base + 37] = base + PAGES_PER_2MB + 37
+        else:
+            pt.map(Translation(base + 3, 7 * index, PageSize.SIZE_4KB))
+            expected[base + 3] = 7 * index
+    for vpn, pfn in expected.items():
+        assert pt.translate(vpn) == pfn

@@ -1,0 +1,131 @@
+"""Tests for the paging policies: demand 4 KB, THP, and eager paging."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.paging import DemandPaging, EagerPaging, TransparentHugePaging
+from repro.mem.physical import PhysicalMemory
+from repro.mem.process import Process
+from repro.mmu.translation import PAGES_PER_2MB, PageSize
+
+
+class TestDemandPaging:
+    def test_all_pages_4kb(self, demand_process):
+        vma = demand_process.mmap(600, name="heap")
+        histogram = demand_process.page_size_histogram()
+        assert histogram[PageSize.SIZE_4KB] == 600
+        assert histogram[PageSize.SIZE_2MB] == 0
+        for vpn in range(vma.start_vpn, vma.end_vpn):
+            demand_process.translate(vpn)  # must not fault
+
+    def test_frames_scattered(self, demand_process):
+        vma = demand_process.mmap(512, name="heap")
+        pfns = [demand_process.translate(vpn) for vpn in range(vma.start_vpn, vma.end_vpn)]
+        contiguous = sum(1 for a, b in zip(pfns, pfns[1:]) if b == a + 1)
+        assert contiguous < 64
+
+    def test_no_ranges(self, demand_process):
+        demand_process.mmap(100)
+        assert len(demand_process.range_table) == 0
+
+
+class TestTHP:
+    def test_aligned_chunks_get_huge_pages(self, thp_process):
+        thp_process.mmap(PAGES_PER_2MB * 3, name="heap")
+        histogram = thp_process.page_size_histogram()
+        assert histogram[PageSize.SIZE_2MB] == 3
+        assert histogram[PageSize.SIZE_4KB] == 0
+
+    def test_tail_gets_4kb_pages(self, thp_process):
+        thp_process.mmap(PAGES_PER_2MB + 37, name="heap")
+        histogram = thp_process.page_size_histogram()
+        assert histogram[PageSize.SIZE_2MB] == 1
+        assert histogram[PageSize.SIZE_4KB] == 37
+
+    def test_ineligible_vma_stays_4kb(self, thp_process):
+        thp_process.mmap(PAGES_PER_2MB * 2, name="stack", thp_eligible=False)
+        histogram = thp_process.page_size_histogram()
+        assert histogram[PageSize.SIZE_2MB] == 0
+        assert histogram[PageSize.SIZE_4KB] == PAGES_PER_2MB * 2
+
+    def test_huge_frames_are_aligned(self, thp_process):
+        vma = thp_process.mmap(PAGES_PER_2MB * 2, name="heap")
+        leaf = thp_process.leaf_for(vma.start_vpn)
+        assert leaf.pfn % PAGES_PER_2MB == 0
+
+    def test_coverage_zero_is_all_4kb(self):
+        process = Process(PhysicalMemory(1 << 30, seed=1), TransparentHugePaging(coverage=0.0))
+        process.mmap(PAGES_PER_2MB * 4)
+        assert process.page_size_histogram()[PageSize.SIZE_2MB] == 0
+
+    def test_partial_coverage(self):
+        process = Process(
+            PhysicalMemory(1 << 30, seed=1), TransparentHugePaging(coverage=0.5, seed=3)
+        )
+        process.mmap(PAGES_PER_2MB * 40)
+        huge = process.page_size_histogram()[PageSize.SIZE_2MB]
+        assert 5 < huge < 35  # ~20 expected
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            TransparentHugePaging(coverage=1.5)
+
+
+class TestEagerPaging:
+    def test_one_range_per_vma(self, eager_process):
+        eager_process.mmap(700, name="a")
+        eager_process.mmap(300, name="b")
+        assert len(eager_process.range_table) == 2
+
+    def test_range_covers_whole_vma(self, eager_process):
+        vma = eager_process.mmap(700, name="a")
+        entry = eager_process.range_table.lookup(vma.start_vpn)
+        assert entry.base_vpn == vma.start_vpn
+        assert entry.limit_vpn == vma.end_vpn
+
+    def test_physical_contiguity_matches_page_table(self, eager_process):
+        """Redundancy invariant: page table and range agree everywhere."""
+        vma = eager_process.mmap(PAGES_PER_2MB * 2 + 100, name="a")
+        entry = eager_process.range_table.lookup(vma.start_vpn)
+        for vpn in range(vma.start_vpn, vma.end_vpn, 17):
+            assert eager_process.translate(vpn) == entry.translate(vpn)
+
+    def test_thp_layout_uses_huge_pages(self, eager_process):
+        eager_process.mmap(PAGES_PER_2MB * 2, name="a")
+        assert eager_process.page_size_histogram()[PageSize.SIZE_2MB] == 2
+
+    def test_4kb_layout(self, eager_4kb_process):
+        eager_4kb_process.mmap(PAGES_PER_2MB, name="a")
+        histogram = eager_4kb_process.page_size_histogram()
+        assert histogram[PageSize.SIZE_2MB] == 0
+        assert histogram[PageSize.SIZE_4KB] == PAGES_PER_2MB
+
+    def test_thp_layout_respects_ineligible_vma(self, eager_process):
+        eager_process.mmap(PAGES_PER_2MB * 2, name="stack", thp_eligible=False)
+        assert eager_process.page_size_histogram()[PageSize.SIZE_2MB] == 0
+        assert len(eager_process.range_table) == 1  # range still created
+
+    def test_invalid_layout_rejected(self):
+        with pytest.raises(ValueError):
+            EagerPaging(page_layout="1gb")
+
+    def test_describe_strings(self):
+        assert "4KB" in DemandPaging().describe()
+        assert "THP" in TransparentHugePaging().describe()
+        assert "eager" in EagerPaging().describe()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    npages=st.integers(min_value=1, max_value=3000),
+    layout=st.sampled_from(["thp", "4kb"]),
+)
+def test_eager_contiguity_property(npages, layout):
+    """Eager paging: PA - VA is constant across the whole VMA."""
+    process = Process(PhysicalMemory(1 << 30, seed=11), EagerPaging(layout))
+    vma = process.mmap(npages)
+    offset = process.translate(vma.start_vpn) - vma.start_vpn
+    step = max(1, npages // 50)
+    for vpn in range(vma.start_vpn, vma.end_vpn, step):
+        assert process.translate(vpn) - vpn == offset

@@ -1,0 +1,45 @@
+"""Tests for the Table 3 cycle model."""
+
+import pytest
+
+from repro.energy.performance import (
+    L2_LOOKUP_CYCLES,
+    PAGE_WALK_CYCLES,
+    miss_cycles,
+    mpki,
+)
+
+
+class TestCycleModel:
+    def test_constants_match_paper(self):
+        assert L2_LOOKUP_CYCLES == 7
+        assert PAGE_WALK_CYCLES == 50
+
+    def test_miss_cycles(self):
+        breakdown = miss_cycles(l1_misses=10, l2_misses=3, instructions=1000)
+        assert breakdown.l1_miss_cycles == 70
+        assert breakdown.l2_miss_cycles == 150
+        assert breakdown.total_cycles == 220
+
+    def test_l1_hits_cost_nothing(self):
+        breakdown = miss_cycles(l1_misses=0, l2_misses=0, instructions=1000)
+        assert breakdown.total_cycles == 0
+
+    def test_cycles_per_kilo_instruction(self):
+        breakdown = miss_cycles(l1_misses=100, l2_misses=0, instructions=10_000)
+        assert breakdown.cycles_per_kilo_instruction == pytest.approx(70.0)
+
+    def test_zero_instructions(self):
+        breakdown = miss_cycles(l1_misses=5, l2_misses=5, instructions=0)
+        assert breakdown.cycles_per_kilo_instruction == 0.0
+
+
+class TestMPKI:
+    def test_basic(self):
+        assert mpki(50, 10_000) == pytest.approx(5.0)
+
+    def test_zero_instructions(self):
+        assert mpki(50, 0) == 0.0
+
+    def test_zero_events(self):
+        assert mpki(0, 1000) == 0.0

@@ -1,0 +1,65 @@
+"""Tests for the Process abstraction (mmap/munmap lifecycle)."""
+
+import pytest
+
+from repro.mem.paging import DemandPaging, EagerPaging
+from repro.mem.physical import PhysicalMemory
+from repro.mem.process import Process
+from repro.mmu.page_table import PageFault
+from repro.mmu.translation import PAGES_PER_2MB
+
+
+class TestMmap:
+    def test_mmap_bytes_rounds_up(self, demand_process):
+        vma = demand_process.mmap_bytes(10_000)
+        assert vma.num_pages == 3
+
+    def test_translate_inside_mapping(self, demand_process):
+        vma = demand_process.mmap(50)
+        demand_process.translate(vma.start_vpn + 25)
+
+    def test_translate_outside_faults(self, demand_process):
+        demand_process.mmap(50)
+        with pytest.raises(PageFault):
+            demand_process.translate(5)
+
+    def test_per_call_policy_override(self):
+        process = Process(PhysicalMemory(1 << 30, seed=1), DemandPaging())
+        process.mmap(PAGES_PER_2MB, policy=EagerPaging("thp"))
+        assert len(process.range_table) == 1
+
+    def test_describe_mentions_policy_and_size(self, thp_process):
+        thp_process.mmap(256, name="heap")
+        text = thp_process.describe()
+        assert "THP" in text
+        assert "1 VMAs" in text
+
+
+class TestMunmap:
+    def test_munmap_frees_frames_demand(self, demand_process):
+        physical = demand_process.physical
+        used_before = physical.frames_used
+        vma = demand_process.mmap(500)
+        demand_process.munmap(vma)
+        # All user frames returned; only scatter-pool stock stays claimed.
+        assert physical.frames_used - physical.scatter_pool_frames == used_before
+        with pytest.raises(PageFault):
+            demand_process.translate(vma.start_vpn)
+
+    def test_munmap_frees_frames_thp(self, thp_process):
+        physical = thp_process.physical
+        used_before = physical.frames_used
+        vma = thp_process.mmap(PAGES_PER_2MB * 2 + 5)
+        thp_process.munmap(vma)
+        assert physical.frames_used - physical.scatter_pool_frames == used_before
+
+    def test_munmap_removes_range(self, eager_process):
+        vma = eager_process.mmap(100)
+        eager_process.munmap(vma)
+        assert len(eager_process.range_table) == 0
+
+    def test_remap_after_unmap(self, demand_process):
+        vma = demand_process.mmap(100)
+        demand_process.munmap(vma)
+        again = demand_process.mmap(100, at_vpn=vma.start_vpn)
+        demand_process.translate(again.start_vpn)

@@ -1,0 +1,51 @@
+"""Statistical robustness: the headline ratios are stable across seeds.
+
+The paper's conclusions must not hinge on one random trace realisation;
+these tests re-run a scaled-down Figure 10 slice under different seeds
+and assert the energy ratios stay in a tight band.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings, run_workload_config
+from repro.workloads.registry import get_workload
+
+SEEDS = (11, 22, 33)
+
+
+@pytest.fixture(scope="module")
+def ratios():
+    workload = get_workload("cactusADM")
+    out = {"TLB_Lite": [], "RMM_Lite": []}
+    for seed in SEEDS:
+        settings = ExperimentSettings(trace_accesses=80_000, seed=seed)
+        thp = run_workload_config(workload, "THP", settings)
+        for config in out:
+            result = run_workload_config(workload, config, settings)
+            out[config].append(result.total_energy_pj / thp.total_energy_pj)
+    return out
+
+
+class TestSeedStability:
+    def test_tlb_lite_ratio_band(self, ratios):
+        values = ratios["TLB_Lite"]
+        assert max(values) - min(values) < 0.15
+        assert all(value < 0.95 for value in values)
+
+    def test_rmm_lite_ratio_band(self, ratios):
+        values = ratios["RMM_Lite"]
+        assert max(values) - min(values) < 0.1
+        assert all(value < 0.5 for value in values)
+
+
+class TestTraceLengthStability:
+    def test_ratio_insensitive_to_trace_length(self):
+        """Doubling the trace length moves the energy ratio only mildly."""
+        workload = get_workload("omnetpp")
+        values = []
+        for accesses in (60_000, 120_000):
+            settings = ExperimentSettings(trace_accesses=accesses, seed=7)
+            thp = run_workload_config(workload, "THP", settings)
+            lite = run_workload_config(workload, "RMM_Lite", settings)
+            values.append(lite.total_energy_pj / thp.total_energy_pj)
+        assert abs(values[0] - values[1]) < 0.15

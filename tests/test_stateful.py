@@ -1,0 +1,170 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine).
+
+Long random interleavings of operations against a model, catching the
+bugs example-based tests miss: buddy-allocator accounting drift, overlap
+leaks, page-table/`break_huge_page` interactions.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.mem.physical import OutOfMemoryError, PhysicalMemory
+from repro.mmu.page_table import PageFault, PageTable
+from repro.mmu.translation import PAGES_PER_2MB, PageSize, Translation
+
+
+class BuddyAllocatorMachine(RuleBasedStateMachine):
+    """The buddy allocator never double-allocates and conserves frames."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.memory = PhysicalMemory(1 << 24, seed=3)  # 4096 frames
+        self.live: dict[int, tuple[str, int]] = {}  # pfn -> (kind, npages)
+        self.claimed: set[int] = set()
+
+    def _claim(self, pfn: int, npages: int, kind: str) -> None:
+        span = set(range(pfn, pfn + npages))
+        assert not (span & self.claimed), "allocator handed out a live frame"
+        self.claimed |= span
+        self.live[pfn] = (kind, npages)
+
+    @rule(order=st.integers(min_value=0, max_value=6))
+    def alloc_block(self, order: int) -> None:
+        try:
+            pfn = self.memory.alloc_block(order)
+        except OutOfMemoryError:
+            return
+        assert pfn % (1 << order) == 0, "block not naturally aligned"
+        self._claim(pfn, 1 << order, "block")
+
+    @rule(npages=st.integers(min_value=1, max_value=300))
+    def alloc_contiguous(self, npages: int) -> None:
+        try:
+            pfn = self.memory.alloc_contiguous(npages)
+        except OutOfMemoryError:
+            return
+        self._claim(pfn, npages, "contig")
+
+    @rule()
+    def alloc_frame(self) -> None:
+        try:
+            pfn = self.memory.alloc_frame()
+        except OutOfMemoryError:
+            return
+        self._claim(pfn, 1, "frame")
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free_something(self, data) -> None:
+        pfn = data.draw(st.sampled_from(sorted(self.live)))
+        kind, npages = self.live.pop(pfn)
+        self.claimed -= set(range(pfn, pfn + npages))
+        if kind == "block":
+            self.memory.free_block(pfn, npages.bit_length() - 1)
+        elif kind == "contig":
+            self.memory.free_contiguous(pfn, npages)
+        else:
+            self.memory.free_frame(pfn)
+
+    @invariant()
+    def frames_conserved(self) -> None:
+        live_frames = sum(npages for _, npages in self.live.values())
+        accounted = (
+            self.memory.frames_free
+            + self.memory.scatter_pool_frames
+            + live_frames
+        )
+        assert accounted == self.memory.total_frames
+
+    @invariant()
+    def free_count_sane(self) -> None:
+        assert 0 <= self.memory.frames_free <= self.memory.total_frames
+
+
+class PageTableMachine(RuleBasedStateMachine):
+    """Map/unmap/demote interleavings agree with a dict model."""
+
+    CHUNKS = 12  # operate within 12 distinct 2MB chunks
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.table = PageTable()
+        self.model: dict[int, int] = {}  # vpn -> pfn (4KB granularity)
+        self.huge: set[int] = set()  # chunk indices mapped as one 2MB page
+
+    def _chunk_base(self, chunk: int) -> int:
+        return chunk * PAGES_PER_2MB
+
+    @rule(
+        chunk=st.integers(min_value=0, max_value=CHUNKS - 1),
+        offset=st.integers(min_value=0, max_value=PAGES_PER_2MB - 1),
+    )
+    def map_4kb(self, chunk: int, offset: int) -> None:
+        vpn = self._chunk_base(chunk) + offset
+        pfn = 1_000_000 + vpn
+        if vpn in self.model or chunk in self.huge:
+            return  # the real table would reject; covered by unit tests
+        self.table.map(Translation(vpn, pfn, PageSize.SIZE_4KB))
+        self.model[vpn] = pfn
+
+    @rule(chunk=st.integers(min_value=0, max_value=CHUNKS - 1))
+    def map_2mb(self, chunk: int) -> None:
+        base = self._chunk_base(chunk)
+        if chunk in self.huge or any(
+            base <= vpn < base + PAGES_PER_2MB for vpn in self.model
+        ):
+            return
+        pfn = (8_192 + chunk) * PAGES_PER_2MB  # 2MB-aligned frame
+        self.table.map(Translation(base, pfn, PageSize.SIZE_2MB))
+        self.huge.add(chunk)
+        for offset in range(PAGES_PER_2MB):
+            self.model[base + offset] = pfn + offset
+
+    @precondition(lambda self: self.huge)
+    @rule(data=st.data())
+    def demote_2mb(self, data) -> None:
+        chunk = data.draw(st.sampled_from(sorted(self.huge)))
+        base = self._chunk_base(chunk)
+        leaf = self.table.unmap(base)
+        for offset in range(PAGES_PER_2MB):
+            self.table.map(
+                Translation(base + offset, leaf.pfn + offset, PageSize.SIZE_4KB)
+            )
+        self.huge.remove(chunk)
+        # Model unchanged: demotion preserves every translation.
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def unmap_some_4kb(self, data) -> None:
+        candidates = sorted(
+            vpn for vpn in self.model if (vpn // PAGES_PER_2MB) not in self.huge
+        )
+        if not candidates:
+            return
+        vpn = data.draw(st.sampled_from(candidates))
+        self.table.unmap(vpn)
+        del self.model[vpn]
+
+    @invariant()
+    def translations_match_model(self) -> None:
+        # Spot-check a handful of pages per step (full sweep is too slow).
+        for vpn in list(self.model)[:5]:
+            assert self.table.translate(vpn) == self.model[vpn]
+        probe = self.CHUNKS * PAGES_PER_2MB + 7
+        try:
+            self.table.translate(probe)
+            assert False, "unmapped page translated"
+        except PageFault:
+            pass
+
+
+TestBuddyAllocatorStateful = BuddyAllocatorMachine.TestCase
+TestBuddyAllocatorStateful.settings = settings(
+    max_examples=20, stateful_step_count=40, deadline=None
+)
+
+TestPageTableStateful = PageTableMachine.TestCase
+TestPageTableStateful.settings = settings(
+    max_examples=10, stateful_step_count=30, deadline=None
+)

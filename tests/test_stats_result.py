@@ -1,0 +1,99 @@
+"""Tests for SimulationResult helpers and TLBStats bookkeeping."""
+
+import pytest
+
+from repro.core.stats import SimulationResult, TimelineSample
+from repro.energy.model import EnergyBreakdown
+from repro.energy.performance import miss_cycles
+from repro.tlb.base import TLBStats
+
+
+def make_result(**overrides):
+    stats_4kb = TLBStats()
+    stats_4kb.hits = 90
+    stats_4kb.misses = 10
+    stats_4kb.lookups_by_ways.update({4: 60, 2: 30, 1: 10})
+    defaults = dict(
+        configuration="THP",
+        workload="toy",
+        accesses=100,
+        instructions=300,
+        l1_misses=10,
+        l2_misses=2,
+        page_walks=2,
+        page_walk_refs=5,
+        range_walk_refs=0,
+        energy=EnergyBreakdown(),
+        cycles=miss_cycles(10, 2, 300),
+        structure_stats={"L1-4KB": stats_4kb},
+        hit_attribution={"L1-4KB": 70, "L1-2MB": 20},
+        timeline=[TimelineSample(100, 5.0), TimelineSample(200, 2.5)],
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_mpki(self):
+        result = make_result()
+        assert result.l1_mpki == pytest.approx(10 * 1000 / 300)
+        assert result.l2_mpki == pytest.approx(2 * 1000 / 300)
+
+    def test_miss_cycles(self):
+        assert make_result().miss_cycles == 10 * 7 + 2 * 50
+
+    def test_energy_per_access_with_zero_accesses(self):
+        result = make_result(accesses=0)
+        assert result.energy_per_access_pj == 0.0
+
+    def test_way_lookup_shares_ordering_and_values(self):
+        shares = make_result().way_lookup_shares("L1-4KB")
+        assert list(shares) == [4, 2, 1]  # descending ways
+        assert shares[4] == pytest.approx(0.6)
+        assert shares[1] == pytest.approx(0.1)
+
+    def test_way_lookup_shares_empty(self):
+        result = make_result(structure_stats={"L1-4KB": TLBStats()})
+        assert result.way_lookup_shares("L1-4KB") == {}
+
+    def test_hit_shares(self):
+        shares = make_result().hit_shares()
+        assert shares["L1-4KB"] == pytest.approx(70 / 90)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_hit_shares_no_hits(self):
+        result = make_result(hit_attribution={"L1-4KB": 0})
+        assert result.hit_shares() == {"L1-4KB": 0.0}
+
+    def test_summary_line(self):
+        line = make_result().summary_line()
+        assert "THP" in line and "toy" in line and "pJ/access" in line
+
+
+class TestTLBStats:
+    def test_hit_ratio(self):
+        stats = TLBStats()
+        assert stats.hit_ratio == 0.0
+        stats.hits, stats.misses = 3, 1
+        assert stats.hit_ratio == 0.75
+        assert stats.lookups == 4
+
+    def test_reset(self):
+        stats = TLBStats()
+        stats.hits = 5
+        stats.lookups_by_ways[4] = 5
+        stats.fills_by_ways[4] = 2
+        stats.reset()
+        assert stats.hits == 0
+        assert stats.lookups == 0
+        assert stats.fills == 0
+
+    def test_snapshot_independent(self):
+        stats = TLBStats()
+        stats.hits = 1
+        stats.lookups_by_ways[4] = 1
+        snapshot = stats.snapshot()
+        stats.hits = 9
+        stats.lookups_by_ways[4] = 9
+        assert snapshot.hits == 1
+        assert snapshot.lookups_by_ways == {4: 1}

@@ -1,0 +1,252 @@
+"""Unit tests for the set-associative, true-LRU, way-disabling TLB."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tlb.set_assoc import SetAssociativeTLB
+
+
+def make_tlb(entries=16, ways=4):
+    return SetAssociativeTLB("t", entries, ways)
+
+
+class TestConstruction:
+    def test_geometry(self):
+        tlb = make_tlb(64, 4)
+        assert tlb.num_sets == 16
+        assert tlb.active_ways == 4
+
+    def test_entries_not_divisible_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeTLB("t", 10, 4)
+
+    def test_non_power_of_two_ways_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeTLB("t", 12, 3)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeTLB("t", 24, 2)  # 12 sets
+
+    def test_direct_mapped_allowed(self):
+        tlb = SetAssociativeTLB("t", 16, 1)
+        assert tlb.num_sets == 16
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        tlb = make_tlb()
+        assert tlb.lookup(5) is None
+        tlb.fill(5, "v5")
+        assert tlb.lookup(5) == "v5"
+
+    def test_hits_and_misses_counted(self):
+        tlb = make_tlb()
+        tlb.lookup(1)
+        tlb.fill(1, "a")
+        tlb.lookup(1)
+        tlb.sync_stats()
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hits == 1
+        assert tlb.stats.fills == 1
+
+    def test_keys_map_to_sets_by_low_bits(self):
+        tlb = make_tlb(16, 4)  # 4 sets
+        tlb.fill(0, "a")
+        tlb.fill(4, "b")  # same set as 0
+        assert set(tlb.set_contents(0)) == {0, 4}
+
+    def test_eviction_is_lru(self):
+        tlb = make_tlb(16, 4)  # 4 sets, keys k*4 share set 0
+        for key in (0, 4, 8, 12):
+            tlb.fill(key, key)
+        tlb.lookup(0)  # refresh key 0
+        tlb.fill(16, 16)  # evicts LRU = 4
+        assert tlb.peek(4) is None
+        assert tlb.peek(0) == 0
+
+    def test_fill_refreshes_existing_key(self):
+        tlb = make_tlb(16, 4)
+        for key in (0, 4, 8, 12):
+            tlb.fill(key, key)
+        tlb.fill(0, "new")  # move 0 to MRU, update value
+        tlb.fill(16, 16)  # evicts 4, not 0
+        assert tlb.peek(0) == "new"
+        assert tlb.peek(4) is None
+
+    def test_occupancy_capped_by_active_ways(self):
+        tlb = make_tlb(16, 4)
+        for key in range(32):
+            tlb.fill(key, key)
+        assert tlb.occupancy() == 16
+
+    def test_peek_does_not_touch_lru_or_stats(self):
+        tlb = make_tlb(16, 4)
+        for key in (0, 4, 8, 12):
+            tlb.fill(key, key)
+        tlb.peek(0)  # no recency change
+        tlb.fill(16, 16)  # LRU is still 0
+        assert tlb.peek(0) is None
+        tlb.sync_stats()
+        assert tlb.stats.lookups == 0
+
+
+class TestLRUOrder:
+    def test_hit_moves_to_mru(self):
+        tlb = make_tlb(16, 4)
+        for key in (0, 4, 8, 12):
+            tlb.fill(key, key)
+        assert tlb.set_contents(0) == [12, 8, 4, 0]
+        tlb.lookup(4)
+        assert tlb.set_contents(0) == [4, 12, 8, 0]
+
+    def test_rank_counters_grouped_by_bit_length(self):
+        tlb = make_tlb(32, 8)  # 4 sets, 8 ways
+        counters = [0] * 4
+        tlb.hit_rank_counters = counters
+        for key in range(0, 32, 4):  # fill set 0 with 8 keys
+            tlb.fill(key, key)
+        # MRU order: 28 24 20 16 12 8 4 0; hit rank 0 -> group 0
+        tlb.lookup(28)
+        assert counters == [1, 0, 0, 0]
+        tlb.lookup(24)  # now at rank 1 -> group 1
+        assert counters == [1, 1, 0, 0]
+        tlb.lookup(16)  # rank 3 -> group 2 (ranks 2-3)
+        assert counters == [1, 1, 1, 0]
+        tlb.lookup(0)  # rank 7 -> group 3 (ranks 4-7)
+        assert counters == [1, 1, 1, 1]
+
+
+class TestWayDisabling:
+    def test_downsize_truncates_lru_entries(self):
+        tlb = make_tlb(16, 4)
+        for key in (0, 4, 8, 12):
+            tlb.fill(key, key)
+        tlb.set_active_ways(2)
+        # Only the two most recent survive.
+        assert tlb.set_contents(0) == [12, 8]
+
+    def test_downsize_then_upsize_has_no_stale_entries(self):
+        tlb = make_tlb(16, 4)
+        for key in (0, 4, 8, 12):
+            tlb.fill(key, key)
+        tlb.set_active_ways(1)
+        tlb.set_active_ways(4)
+        assert tlb.peek(8) is None
+        assert tlb.peek(12) == 12
+
+    def test_capacity_respected_after_downsize(self):
+        tlb = make_tlb(16, 4)
+        tlb.set_active_ways(2)
+        for key in range(0, 40, 4):
+            tlb.fill(key, key)
+        assert len(tlb.set_contents(0)) == 2
+
+    def test_upsizing_above_max_rejected(self):
+        tlb = make_tlb(16, 4)
+        with pytest.raises(ValueError):
+            tlb.set_active_ways(8)
+
+    def test_non_power_of_two_rejected(self):
+        tlb = make_tlb(16, 4)
+        with pytest.raises(ValueError):
+            tlb.set_active_ways(3)
+
+    def test_lookups_histogrammed_by_ways_at_access_time(self):
+        tlb = make_tlb(16, 4)
+        tlb.lookup(1)
+        tlb.lookup(2)
+        tlb.set_active_ways(2)
+        tlb.lookup(3)
+        tlb.sync_stats()
+        assert tlb.stats.lookups_by_ways == {4: 2, 2: 1}
+
+    def test_fills_histogrammed_by_ways(self):
+        tlb = make_tlb(16, 4)
+        tlb.fill(1, 1)
+        tlb.set_active_ways(1)
+        tlb.fill(2, 2)
+        tlb.fill(3, 3)
+        tlb.sync_stats()
+        assert tlb.stats.fills_by_ways == {4: 1, 1: 2}
+
+
+class TestMaintenance:
+    def test_invalidate(self):
+        tlb = make_tlb()
+        tlb.fill(7, 7)
+        assert tlb.invalidate(7) is True
+        assert tlb.invalidate(7) is False
+        assert tlb.peek(7) is None
+
+    def test_flush_clears_everything(self):
+        tlb = make_tlb()
+        for key in range(16):
+            tlb.fill(key, key)
+        tlb.flush()
+        assert tlb.occupancy() == 0
+
+    def test_resident_keys(self):
+        tlb = make_tlb()
+        tlb.fill(3, 3)
+        tlb.fill(9, 9)
+        assert tlb.resident_keys() == {3, 9}
+
+    def test_interval_misses_resets_on_sync(self):
+        tlb = make_tlb()
+        tlb.lookup(1)
+        tlb.lookup(2)
+        assert tlb.interval_misses == 2
+        tlb.sync_stats()
+        assert tlb.interval_misses == 0
+        assert tlb.stats.misses == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300),
+    ways=st.sampled_from([1, 2, 4, 8]),
+)
+def test_matches_reference_lru_model(keys, ways):
+    """The TLB behaves exactly like a per-set LRU stack model."""
+    tlb = SetAssociativeTLB("t", 8 * ways, ways)  # 8 sets
+    reference: dict[int, list[int]] = {s: [] for s in range(8)}
+    for key in keys:
+        stack = reference[key % 8]
+        expect_hit = key in stack
+        got = tlb.lookup(key)
+        assert (got is not None) == expect_hit
+        if expect_hit:
+            stack.remove(key)
+            stack.insert(0, key)
+        else:
+            tlb.fill(key, key)
+            stack.insert(0, key)
+            del stack[ways:]
+    for s in range(8):
+        assert tlb.set_contents(s) == reference[s]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200),
+    schedule=st.lists(st.sampled_from([1, 2, 4]), min_size=1, max_size=8),
+)
+def test_stats_conserved_across_resizes(keys, schedule):
+    """hits + misses == lookups and histograms sum correctly under resizing."""
+    tlb = SetAssociativeTLB("t", 16, 4)
+    resize_every = max(1, len(keys) // (len(schedule) + 1))
+    step = 0
+    for index, key in enumerate(keys):
+        if index and index % resize_every == 0 and step < len(schedule):
+            tlb.set_active_ways(schedule[step])
+            step += 1
+        if tlb.lookup(key) is None:
+            tlb.fill(key, key)
+    tlb.sync_stats()
+    stats = tlb.stats
+    assert stats.hits + stats.misses == stats.lookups
+    assert sum(stats.lookups_by_ways.values()) == stats.lookups
+    assert sum(stats.fills_by_ways.values()) == stats.fills
+    assert stats.fills == stats.misses  # we fill exactly on each miss

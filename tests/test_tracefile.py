@@ -1,0 +1,94 @@
+"""Tests for trace file I/O and replaying saved traces."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.organizations import build_organization, paging_policy_for
+from repro.core.simulator import Simulator
+from repro.mem.physical import PhysicalMemory
+from repro.workloads.registry import get_workload
+from repro.workloads.tracefile import (
+    TraceMetadata,
+    export_workload_trace,
+    load_trace,
+    save_trace,
+    workload_from_metadata,
+)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        trace = np.arange(100, dtype=np.int64)
+        metadata = TraceMetadata(workload="toy", instructions_per_access=2.5, seed=7)
+        save_trace(tmp_path / "toy", trace, metadata)
+        loaded, meta = load_trace(tmp_path / "toy")
+        assert np.array_equal(loaded, trace)
+        assert meta.workload == "toy"
+        assert meta.instructions_per_access == 2.5
+        assert meta.seed == 7
+
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nothing")
+
+    def test_invalid_trace_rejected(self, tmp_path):
+        metadata = TraceMetadata(workload="x", instructions_per_access=1.0)
+        with pytest.raises(ValueError):
+            save_trace(tmp_path / "bad", [], metadata)
+        with pytest.raises(ValueError):
+            save_trace(tmp_path / "bad", [-1], metadata)
+
+    def test_version_check(self, tmp_path):
+        trace = np.arange(10, dtype=np.int64)
+        save_trace(tmp_path / "v", trace, TraceMetadata("x", 1.0))
+        payload = json.loads((tmp_path / "v.json").read_text())
+        payload["format_version"] = 999
+        (tmp_path / "v.json").write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_trace(tmp_path / "v")
+
+
+class TestWorkloadExport:
+    def test_export_records_layout(self, tmp_path):
+        workload = get_workload("povray")
+        export_workload_trace(workload, 2_000, tmp_path / "povray", seed=3)
+        trace, metadata = load_trace(tmp_path / "povray")
+        assert len(trace) == 2_000
+        names = {vma["name"] for vma in metadata.vmas}
+        assert names == {"heap", "stack"}
+
+    def test_replay_matches_direct_simulation(self, tmp_path):
+        """Saving + replaying a trace reproduces the direct run exactly."""
+        workload = get_workload("povray")
+        export_workload_trace(workload, 5_000, tmp_path / "w", seed=5)
+        trace, metadata = load_trace(tmp_path / "w")
+
+        def simulate(wl, trc):
+            process = wl.build_process(
+                paging_policy_for("THP"), PhysicalMemory(1 << 28, seed=1)
+            )
+            org = build_organization("THP", process)
+            sim = Simulator(
+                org, instructions_per_access=wl.instructions_per_access
+            )
+            return sim.run(trc, fast_forward_accesses=500)
+
+        direct = simulate(workload, workload.trace(5_000, seed=5))
+        replay = simulate(workload_from_metadata(metadata), trace)
+        assert direct.l1_misses == replay.l1_misses
+        assert direct.l2_misses == replay.l2_misses
+        assert direct.total_energy_pj == pytest.approx(replay.total_energy_pj)
+
+    def test_loaded_workload_cannot_regenerate(self, tmp_path):
+        workload = get_workload("povray")
+        export_workload_trace(workload, 1_000, tmp_path / "w")
+        _, metadata = load_trace(tmp_path / "w")
+        loaded = workload_from_metadata(metadata)
+        with pytest.raises(TypeError):
+            loaded.trace(10)
+
+    def test_metadata_without_layout_rejected(self):
+        with pytest.raises(ValueError):
+            workload_from_metadata(TraceMetadata("x", 1.0))

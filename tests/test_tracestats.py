@@ -1,0 +1,173 @@
+"""Tests for the trace-statistics module (reuse distances, footprints)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.tracestats import (
+    COLD,
+    footprint_curve,
+    hit_ratio_curve,
+    lru_hit_ratio,
+    page_touch_counts,
+    reuse_distance_histogram,
+    summarize_trace,
+)
+from repro.tlb.fully_assoc import FullyAssociativeTLB
+
+
+class TestReuseDistance:
+    def test_all_cold(self):
+        histogram = reuse_distance_histogram([1, 2, 3, 4])
+        assert histogram == Counter({COLD: 4})
+
+    def test_immediate_reuse_is_distance_zero(self):
+        histogram = reuse_distance_histogram([7, 7, 7])
+        assert histogram == Counter({COLD: 1, 0: 2})
+
+    def test_classic_example(self):
+        # a b c a : the second 'a' saw 2 distinct pages in between.
+        histogram = reuse_distance_histogram([1, 2, 3, 1])
+        assert histogram == Counter({COLD: 3, 2: 1})
+
+    def test_repeated_interleave(self):
+        # a b a b: each reuse sees exactly one distinct page.
+        histogram = reuse_distance_histogram([1, 2, 1, 2, 1, 2])
+        assert histogram == Counter({COLD: 2, 1: 4})
+
+    def test_duplicates_between_do_not_double_count(self):
+        # a b b a : the second 'a' saw ONE distinct page.
+        histogram = reuse_distance_histogram([1, 2, 2, 1])
+        assert histogram == Counter({COLD: 2, 0: 1, 1: 1})
+
+    def test_granularity_coarsens(self):
+        # Pages 0 and 511 share a 2 MB chunk.
+        histogram = reuse_distance_histogram([0, 511, 0], granularity_pages=512)
+        assert histogram == Counter({COLD: 1, 0: 2})
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            reuse_distance_histogram([1], granularity_pages=0)
+
+
+class TestHitRatioPredictions:
+    def test_mattson_property_against_real_lru(self):
+        """distance < capacity ⇔ hit in a fully-associative LRU cache."""
+        rng = np.random.default_rng(3)
+        trace = rng.integers(0, 40, size=3000).tolist()
+        histogram = reuse_distance_histogram(trace)
+        for entries in (1, 2, 8, 16, 64):
+            tlb = FullyAssociativeTLB("t", entries)
+            for page in trace:
+                if tlb.lookup(page) is None:
+                    tlb.fill(page, page)
+            tlb.sync_stats()
+            assert lru_hit_ratio(histogram, entries) == pytest.approx(
+                tlb.stats.hit_ratio
+            ), entries
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(5)
+        trace = rng.integers(0, 200, size=2000)
+        histogram = reuse_distance_histogram(trace)
+        curve = hit_ratio_curve(histogram, [1, 4, 16, 64, 256])
+        values = list(curve.values())
+        assert values == sorted(values)
+
+    def test_empty_histogram(self):
+        assert lru_hit_ratio(Counter(), 8) == 0.0
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            lru_hit_ratio(Counter({0: 1}), 0)
+
+
+class TestSummaries:
+    def test_summarize(self):
+        trace = [0, 1, 0, 1, 600]
+        summary = summarize_trace(trace)
+        assert summary.accesses == 5
+        assert summary.distinct_pages == 3
+        assert summary.distinct_huge_pages == 2
+        assert "pages" in summary.render()
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_trace([])
+
+    def test_footprint_curve(self):
+        trace = [1, 1, 1, 1, 2, 3, 4, 5]
+        assert footprint_curve(trace, windows=2) == [1, 4]
+        with pytest.raises(ValueError):
+            footprint_curve(trace, windows=0)
+
+    def test_page_touch_counts(self):
+        counts = page_touch_counts([5, 5, 9])
+        assert counts == Counter({5: 2, 9: 1})
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300),
+    entries=st.integers(min_value=1, max_value=32),
+)
+def test_prediction_matches_simulation_property(trace, entries):
+    histogram = reuse_distance_histogram(trace)
+    tlb = FullyAssociativeTLB("t", entries)
+    hits = 0
+    for page in trace:
+        if tlb.lookup(page) is None:
+            tlb.fill(page, page)
+        else:
+            hits += 1
+    assert lru_hit_ratio(histogram, entries) == pytest.approx(hits / len(trace))
+
+
+def test_workload_summaries_are_plausible():
+    """The intensive workloads' own statistics match their design."""
+    from repro.workloads.registry import get_workload
+
+    mcf = summarize_trace(get_workload("mcf").trace(30_000, seed=1))
+    omnetpp = summarize_trace(get_workload("omnetpp").trace(30_000, seed=1))
+    # mcf touches far more huge pages than omnetpp (its chase defeats THP).
+    assert mcf.distinct_huge_pages > 3 * omnetpp.distinct_huge_pages
+    # Both have strong L1-scale locality (hot tiers).
+    assert mcf.l1_page_hit_estimate > 0.5
+    assert omnetpp.l1_page_hit_estimate > 0.5
+
+
+class TestRegionBreakdown:
+    def test_summarize_by_region(self):
+        from repro.analysis.tracestats import summarize_by_region
+        from repro.workloads.patterns import Region
+
+        regions = {"a": Region(0, 10), "b": Region(100, 10)}
+        trace = [0, 1, 1, 105, 999]
+        out = summarize_by_region(trace, regions)
+        assert out["a"]["accesses"] == 3
+        assert out["a"]["distinct_pages"] == 2
+        assert out["a"]["touched_fraction"] == 0.2
+        assert out["b"]["share"] == 0.2
+        assert out["<unmapped>"]["accesses"] == 1
+
+    def test_workload_tier_structure_visible(self):
+        """The stack tier dominates accesses but touches few pages."""
+        from repro.analysis.tracestats import summarize_by_region
+        from repro.workloads.registry import get_workload
+
+        workload = get_workload("cactusADM")
+        out = summarize_by_region(workload.trace(20_000, seed=1), workload.regions())
+        assert out["<unmapped>"]["accesses"] == 0
+        assert out["stack"]["share"] > 0.5  # hot tier
+        assert out["stack"]["distinct_pages"] < 64
+        # The grids stream: low share, many distinct pages.
+        assert out["grid_a"]["distinct_pages"] > out["stack"]["distinct_pages"]
+
+    def test_empty_trace_rejected(self):
+        from repro.analysis.tracestats import summarize_by_region
+
+        with pytest.raises(ValueError):
+            summarize_by_region([], {})

@@ -1,0 +1,100 @@
+"""Unit tests for VMAs and the address-space map."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.vma import VMA, AddressSpace
+from repro.mmu.translation import PAGES_PER_2MB
+
+
+class TestVMA:
+    def test_basic_properties(self):
+        vma = VMA(100, 50, name="heap")
+        assert vma.end_vpn == 150
+        assert vma.bytes == 50 * 4096
+        assert vma.contains(100) and vma.contains(149)
+        assert not vma.contains(150)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            VMA(0, 0)
+        with pytest.raises(ValueError):
+            VMA(-1, 5)
+
+    def test_overlap(self):
+        a = VMA(0, 10)
+        assert a.overlaps(VMA(9, 5))
+        assert not a.overlaps(VMA(10, 5))
+
+
+class TestAddressSpace:
+    def test_auto_placement_is_2mb_aligned(self):
+        space = AddressSpace()
+        first = space.mmap(100)
+        second = space.mmap(100)
+        assert first.start_vpn % PAGES_PER_2MB == 0
+        assert second.start_vpn % PAGES_PER_2MB == 0
+        assert second.start_vpn >= first.end_vpn + PAGES_PER_2MB
+
+    def test_deterministic_placement(self):
+        layout_a = [AddressSpace().mmap(n).start_vpn for n in (10, 600, 3)]
+        # Recreate in the same order -> identical layout.
+        space = AddressSpace()
+        layout_b = [space.mmap(n).start_vpn for n in (10,)]
+        assert layout_a[0] == layout_b[0]
+
+    def test_fixed_placement(self):
+        space = AddressSpace()
+        vma = space.mmap(10, at_vpn=0x123450)
+        assert vma.start_vpn == 0x123450
+
+    def test_overlapping_fixed_rejected(self):
+        space = AddressSpace()
+        space.mmap(100, at_vpn=1000)
+        with pytest.raises(ValueError):
+            space.mmap(10, at_vpn=1050)
+
+    def test_find(self):
+        space = AddressSpace()
+        a = space.mmap(100)
+        b = space.mmap(50)
+        assert space.find(a.start_vpn + 5) == a
+        assert space.find(b.start_vpn) == b
+        assert space.find(a.end_vpn + 1) is None
+        assert space.find(0) is None
+
+    def test_munmap(self):
+        space = AddressSpace()
+        a = space.mmap(100)
+        space.munmap(a)
+        assert space.find(a.start_vpn) is None
+        assert len(space) == 0
+        with pytest.raises(KeyError):
+            space.munmap(a)
+
+    def test_mapped_pages(self):
+        space = AddressSpace()
+        space.mmap(100)
+        space.mmap(28)
+        assert space.mapped_pages == 128
+
+    def test_iteration_sorted(self):
+        space = AddressSpace()
+        space.mmap(100, at_vpn=50_000)
+        space.mmap(100, at_vpn=10_000)
+        assert [v.start_vpn for v in space] == [10_000, 50_000]
+
+
+@settings(max_examples=50, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=5000), min_size=1, max_size=20))
+def test_auto_placements_never_overlap(sizes):
+    space = AddressSpace()
+    vmas = [space.mmap(size) for size in sizes]
+    for i, a in enumerate(vmas):
+        for b in vmas[i + 1 :]:
+            assert not a.overlaps(b)
+    for vma in vmas:
+        # Every interior page resolves to its VMA.
+        assert space.find(vma.start_vpn) == vma
+        assert space.find(vma.end_vpn - 1) == vma
