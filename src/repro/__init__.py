@@ -13,7 +13,11 @@ The library provides, as importable building blocks:
 * :mod:`repro.energy` — the paper's Table 2 Cacti parameters and Table 3
   energy/performance models;
 * :mod:`repro.workloads` — synthetic SPEC/PARSEC/BioBench workload models;
-* :mod:`repro.analysis` — experiment drivers and report rendering.
+* :mod:`repro.analysis` — experiment drivers and report rendering;
+* :mod:`repro.resilience` — fault injection, the runtime invariant
+  auditor, and the checkpoint/resume sweep runner (see
+  ``docs/robustness.md``), with the error taxonomy in
+  :mod:`repro.errors`.
 
 Quickstart::
 
@@ -52,6 +56,7 @@ from .core import (
     paging_policy_for,
 )
 from .energy import EnergyModel
+from .errors import InvariantViolation, ReproError
 from .mem import (
     DemandPaging,
     EagerPaging,
@@ -60,6 +65,11 @@ from .mem import (
     TransparentHugePaging,
 )
 from .mmu import PageSize, PageTable, RangeTranslation, Translation
+from .resilience import (
+    InvariantAuditor,
+    run_fault_campaign,
+    run_resilient_sweep,
+)
 from .workloads import (
     Workload,
     all_workloads,
@@ -98,6 +108,12 @@ __all__ = [
     "RMM_LITE_PARAMS",
     # energy
     "EnergyModel",
+    # errors / resilience
+    "ReproError",
+    "InvariantViolation",
+    "InvariantAuditor",
+    "run_fault_campaign",
+    "run_resilient_sweep",
     # mem
     "Process",
     "PhysicalMemory",

@@ -10,9 +10,18 @@ run
     headline metrics.
 sweep
     Run a workload across all paper configurations, normalised to 4KB —
-    a one-workload slice of Figure 10.
+    a one-workload slice of Figure 10.  Supports ``--journal``/``--resume``
+    (checkpointed, resumable execution), ``--audit`` (runtime invariant
+    checking), ``--retries`` and ``--cell-timeout`` (per-cell isolation).
 describe
     Print a configuration's structure inventory (Figure 9 style).
+audit
+    Simulate with the invariant auditor enabled and report the number of
+    accounting checks passed (or the first violation).
+
+Unknown workload or configuration names exit with a did-you-mean message
+instead of a traceback; structured simulator errors print as
+``error-class: message``.
 """
 
 from __future__ import annotations
@@ -28,10 +37,24 @@ from .core.organizations import (
     build_organization,
     paging_policy_for,
 )
+from .errors import InvariantViolation, ReproError, UnknownConfigError
 from .mem.physical import PhysicalMemory
 from .mem.process import Process
 from .mmu.translation import PAGES_PER_2MB
+from .resilience.auditor import InvariantAuditor
+from .resilience.sweep import run_resilient_sweep
 from .workloads.registry import all_workloads, get_workload
+
+#: Journal used by ``sweep --resume`` when ``--journal`` is not given.
+DEFAULT_JOURNAL = "repro-sweep.journal"
+
+
+def _config_name(name: str) -> str:
+    """Argparse type for configuration names with did-you-mean errors."""
+    if name not in EXTENDED_CONFIG_NAMES:
+        error = UnknownConfigError(name, EXTENDED_CONFIG_NAMES)
+        raise argparse.ArgumentTypeError(str(error))
+    return name
 
 
 def _cmd_list(_args) -> int:
@@ -52,9 +75,10 @@ def _cmd_list(_args) -> int:
 def _cmd_run(args) -> int:
     workload = get_workload(args.workload)
     settings = ExperimentSettings(trace_accesses=args.accesses, seed=args.seed)
+    auditor = InvariantAuditor() if args.audit else None
     rows = []
     for config in args.configs:
-        result = run_workload_config(workload, config, settings)
+        result = run_workload_config(workload, config, settings, auditor=auditor)
         rows.append(
             [
                 config,
@@ -72,32 +96,57 @@ def _cmd_run(args) -> int:
             f"{args.accesses} accesses",
         )
     )
+    if auditor is not None:
+        print(f"\nauditor: {auditor.checks_run} invariant checks passed")
     return 0
 
 
 def _cmd_sweep(args) -> int:
     workload = get_workload(args.workload)
     settings = ExperimentSettings(trace_accesses=args.accesses, seed=args.seed)
+    journal_path = args.journal
+    if journal_path is None and args.resume:
+        journal_path = DEFAULT_JOURNAL
+    report = run_resilient_sweep(
+        [workload],
+        CONFIG_NAMES,
+        settings,
+        journal_path=journal_path,
+        resume=args.resume,
+        retries=args.retries,
+        cell_timeout_s=args.cell_timeout,
+        audit=args.audit,
+    )
+    baseline_cell = report.cell(workload.name, CONFIG_NAMES[0])
+    baseline = baseline_cell.row if baseline_cell and baseline_cell.completed else None
     rows = []
-    baseline = None
     for config in CONFIG_NAMES:
-        result = run_workload_config(workload, config, settings)
-        if baseline is None:
-            baseline = result
-        rows.append(
-            [
-                config,
-                result.total_energy_pj / baseline.total_energy_pj,
-                result.miss_cycles / max(baseline.miss_cycles, 1),
-            ]
-        )
+        cell = report.cell(workload.name, config)
+        if cell is not None and cell.completed and baseline is not None:
+            row = cell.row
+            rows.append(
+                [
+                    config,
+                    row["total_energy_pj"] / baseline["total_energy_pj"],
+                    row["miss_cycles"] / max(baseline["miss_cycles"], 1),
+                    cell.status,
+                ]
+            )
+        else:
+            status = cell.status if cell is not None else "missing"
+            rows.append([config, "—", "—", status.upper()])
     print(
         render_table(
-            ["config", "energy vs 4KB", "miss cycles vs 4KB"],
+            ["config", "energy vs 4KB", "miss cycles vs 4KB", "status"],
             rows,
             title=f"{workload.name} — Figure 10 slice",
         )
     )
+    if report.failed_cells:
+        print(f"\nwarning: incomplete sweep ({report.summary()})", file=sys.stderr)
+        for cell in report.failed_cells:
+            print(f"  {cell.configuration}: {cell.error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -106,6 +155,24 @@ def _cmd_describe(args) -> int:
     process.mmap(PAGES_PER_2MB * 2, name="heap")
     organization = build_organization(args.config, process)
     print(organization.summary.render())
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    workload = get_workload(args.workload)
+    settings = ExperimentSettings(trace_accesses=args.accesses, seed=args.seed)
+    for config in args.configs:
+        auditor = InvariantAuditor()
+        try:
+            result = run_workload_config(workload, config, settings, auditor=auditor)
+        except InvariantViolation as violation:
+            print(f"{config}: FAILED after {auditor.checks_run} checks")
+            print(f"  {violation}")
+            return 1
+        print(
+            f"{config}: ok — {auditor.checks_run} invariant checks over "
+            f"{result.accesses} measured accesses"
+        )
     return 0
 
 
@@ -121,18 +188,53 @@ def main(argv: list[str] | None = None) -> int:
     run_parser = sub.add_parser("run", help="simulate one workload")
     run_parser.add_argument("workload")
     run_parser.add_argument(
-        "--configs", nargs="+", default=["THP"], choices=EXTENDED_CONFIG_NAMES
+        "--configs", nargs="+", default=["THP"], type=_config_name
     )
     run_parser.add_argument("--accesses", type=int, default=200_000)
     run_parser.add_argument("--seed", type=int, default=42)
+    run_parser.add_argument(
+        "--audit", action="store_true", help="enable the runtime invariant auditor"
+    )
 
     sweep_parser = sub.add_parser("sweep", help="all six paper configurations")
     sweep_parser.add_argument("workload")
     sweep_parser.add_argument("--accesses", type=int, default=200_000)
     sweep_parser.add_argument("--seed", type=int, default=42)
+    sweep_parser.add_argument(
+        "--journal",
+        default=None,
+        help="checkpoint journal path (enables resumable sweeps)",
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=f"resume from the journal (default path: {DEFAULT_JOURNAL})",
+    )
+    sweep_parser.add_argument(
+        "--audit", action="store_true", help="enable the runtime invariant auditor"
+    )
+    sweep_parser.add_argument(
+        "--retries", type=int, default=1, help="retries per failing cell"
+    )
+    sweep_parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds allowed per cell",
+    )
 
     describe_parser = sub.add_parser("describe", help="show a configuration")
-    describe_parser.add_argument("config", choices=EXTENDED_CONFIG_NAMES)
+    describe_parser.add_argument("config", type=_config_name)
+
+    audit_parser = sub.add_parser(
+        "audit", help="simulate with runtime invariant checking"
+    )
+    audit_parser.add_argument("workload")
+    audit_parser.add_argument(
+        "--configs", nargs="+", default=list(CONFIG_NAMES), type=_config_name
+    )
+    audit_parser.add_argument("--accesses", type=int, default=50_000)
+    audit_parser.add_argument("--seed", type=int, default=42)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -140,8 +242,13 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "describe": _cmd_describe,
+        "audit": _cmd_audit,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"{type(error).__name__}: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -3,7 +3,9 @@ tables and figures."""
 
 from .experiments import (
     ExperimentSettings,
+    PreparedRun,
     ReplicatedMetric,
+    prepare_run,
     run_matrix,
     run_replicated,
     run_workload_config,
@@ -30,6 +32,8 @@ from .tracestats import (
 
 __all__ = [
     "ExperimentSettings",
+    "PreparedRun",
+    "prepare_run",
     "run_workload_config",
     "run_workload_config_with_org",
     "run_matrix",

@@ -8,6 +8,7 @@ generate the workload's reference stream, and simulate.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..core.organizations import (
@@ -19,7 +20,9 @@ from ..core.params import HierarchyParams, LiteParams, SimulationParams
 from ..core.simulator import Simulator
 from ..core.stats import SimulationResult
 from ..energy.model import EnergyModel
+from ..errors import SettingsError
 from ..mem.physical import PhysicalMemory
+from ..mem.process import Process
 from ..workloads.base import Workload
 
 
@@ -32,6 +35,25 @@ class ExperimentSettings:
     thp_coverage: float = 1.0
     physical_bytes: int = 32 << 30
     sim_params: SimulationParams = field(default_factory=SimulationParams)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.trace_accesses, int) or self.trace_accesses <= 0:
+            raise SettingsError(
+                f"trace_accesses must be a positive integer, got {self.trace_accesses!r}"
+            )
+        if not isinstance(self.physical_bytes, int) or self.physical_bytes <= 0:
+            raise SettingsError(
+                f"physical_bytes must be a positive integer, got {self.physical_bytes!r}"
+            )
+        if (
+            not isinstance(self.thp_coverage, (int, float))
+            or isinstance(self.thp_coverage, bool)
+            or not math.isfinite(self.thp_coverage)
+            or not 0.0 <= self.thp_coverage <= 1.0
+        ):
+            raise SettingsError(
+                f"thp_coverage must be a finite value in [0, 1], got {self.thp_coverage!r}"
+            )
 
     def scaled_lite_interval(self) -> int:
         """Lite interval matched to the scaled-down trace length.
@@ -47,42 +69,41 @@ class ExperimentSettings:
         return max(10_000, approx_instructions // 150)
 
 
-def run_workload_config(
-    workload: Workload,
-    config_name: str,
-    settings: ExperimentSettings | None = None,
-    hierarchy_params: HierarchyParams | None = None,
-    lite_params: LiteParams | None = None,
-    energy_model: EnergyModel | None = None,
-    record_history: bool = False,
-) -> SimulationResult:
-    """Simulate one workload under one named configuration."""
-    result, _organization = run_workload_config_with_org(
-        workload,
-        config_name,
-        settings,
-        hierarchy_params=hierarchy_params,
-        lite_params=lite_params,
-        energy_model=energy_model,
-        record_history=record_history,
-    )
-    return result
+@dataclass(slots=True)
+class PreparedRun:
+    """Everything one simulation cell needs, before the trace is fed.
 
-
-def run_workload_config_with_org(
-    workload: Workload,
-    config_name: str,
-    settings: ExperimentSettings | None = None,
-    hierarchy_params: HierarchyParams | None = None,
-    lite_params: LiteParams | None = None,
-    energy_model: EnergyModel | None = None,
-    record_history: bool = False,
-):
-    """Like :func:`run_workload_config` but also returns the organization.
-
-    The organization carries the energy bindings that post-hoc analyses
-    (e.g. the Section 6.2 static-energy model) need alongside the result.
+    Exposing the pieces (not just the result) lets the resilience layer
+    perturb the trace, schedule adversarial OS events against the live
+    process, and attach an invariant auditor — all without re-implementing
+    the canonical build pipeline.
     """
+
+    workload: Workload
+    config_name: str
+    settings: ExperimentSettings
+    process: Process
+    organization: object
+    trace: object
+    simulator: Simulator
+
+    def run(self, events=None) -> SimulationResult:
+        """Feed the (possibly perturbed) trace through the simulator."""
+        return self.simulator.run(self.trace, events=events)
+
+
+def prepare_run(
+    workload: Workload,
+    config_name: str,
+    settings: ExperimentSettings | None = None,
+    hierarchy_params: HierarchyParams | None = None,
+    lite_params: LiteParams | None = None,
+    energy_model: EnergyModel | None = None,
+    record_history: bool = False,
+    auditor=None,
+    on_fault: str = "raise",
+) -> PreparedRun:
+    """Build the process, organization, trace, and simulator for one cell."""
     settings = settings or ExperimentSettings()
     policy = paging_policy_for(config_name, settings.thp_coverage)
     process = workload.build_process(
@@ -102,8 +123,74 @@ def run_workload_config_with_org(
         instructions_per_access=workload.instructions_per_access,
         sim_params=settings.sim_params,
         energy_model=energy_model,
+        auditor=auditor,
+        on_fault=on_fault,
     )
-    return simulator.run(trace), organization
+    return PreparedRun(
+        workload=workload,
+        config_name=config_name,
+        settings=settings,
+        process=process,
+        organization=organization,
+        trace=trace,
+        simulator=simulator,
+    )
+
+
+def run_workload_config(
+    workload: Workload,
+    config_name: str,
+    settings: ExperimentSettings | None = None,
+    hierarchy_params: HierarchyParams | None = None,
+    lite_params: LiteParams | None = None,
+    energy_model: EnergyModel | None = None,
+    record_history: bool = False,
+    auditor=None,
+    on_fault: str = "raise",
+) -> SimulationResult:
+    """Simulate one workload under one named configuration."""
+    result, _organization = run_workload_config_with_org(
+        workload,
+        config_name,
+        settings,
+        hierarchy_params=hierarchy_params,
+        lite_params=lite_params,
+        energy_model=energy_model,
+        record_history=record_history,
+        auditor=auditor,
+        on_fault=on_fault,
+    )
+    return result
+
+
+def run_workload_config_with_org(
+    workload: Workload,
+    config_name: str,
+    settings: ExperimentSettings | None = None,
+    hierarchy_params: HierarchyParams | None = None,
+    lite_params: LiteParams | None = None,
+    energy_model: EnergyModel | None = None,
+    record_history: bool = False,
+    auditor=None,
+    on_fault: str = "raise",
+):
+    """Like :func:`run_workload_config` but also returns the organization.
+
+    The organization carries the energy bindings that post-hoc analyses
+    (e.g. the Section 6.2 static-energy model) need alongside the result.
+    """
+    prepared = prepare_run(
+        workload,
+        config_name,
+        settings,
+        hierarchy_params=hierarchy_params,
+        lite_params=lite_params,
+        energy_model=energy_model,
+        record_history=record_history,
+        auditor=auditor,
+        on_fault=on_fault,
+    )
+    return prepared.run(), prepared.organization
 
 
 def _scaled_lite_params(

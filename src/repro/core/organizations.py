@@ -29,6 +29,7 @@ from ..energy.cacti import (
     page_tlb_params,
 )
 from ..energy.model import EnergyBinding
+from ..errors import UnknownConfigError
 from ..mem.paging import DemandPaging, EagerPaging, PagingPolicy, TransparentHugePaging
 from ..mem.process import Process
 from ..mmu.mmu_cache import MMUCache
@@ -661,7 +662,7 @@ def paging_policy_for(config_name: str, thp_coverage: float = 1.0) -> PagingPoli
         return EagerPaging(page_layout="thp")
     if config_name in ("L0_Filter", "L0_Lite", "TLB_Pred", "Banked", "Semantic"):
         return TransparentHugePaging(coverage=thp_coverage)
-    raise KeyError(f"unknown configuration {config_name!r}")
+    raise UnknownConfigError(config_name, EXTENDED_CONFIG_NAMES)
 
 
 def build_organization(
@@ -708,4 +709,4 @@ def build_organization(
         return build_banked(process, params)
     if config_name == "Semantic":
         return build_semantic(process, params)
-    raise KeyError(f"unknown configuration {config_name!r}")
+    raise UnknownConfigError(config_name, EXTENDED_CONFIG_NAMES)

@@ -21,13 +21,34 @@ from __future__ import annotations
 
 from ..energy.model import EnergyModel
 from ..energy.performance import miss_cycles
+from ..errors import SimulationError
+from ..mmu.page_table import PageFault
+from .hierarchy import ConfigurationError
 from .organizations import Organization
 from .params import SimulationParams
-from .stats import SimulationResult, TimelineSample
+from .stats import FaultRecord, SimulationResult, TimelineSample
+
+#: Exceptions a fault-tolerant run survives per access (``on_fault="record"``).
+#: Everything else (programming errors, resource exhaustion) still raises.
+FAULT_EXCEPTIONS = (PageFault, ConfigurationError, ValueError, KeyError,
+                    IndexError, OverflowError)
 
 
 class Simulator:
-    """Runs reference traces through one configuration."""
+    """Runs reference traces through one configuration.
+
+    ``on_fault`` selects the hot-loop flavour: ``"raise"`` (default) keeps
+    the zero-overhead loop and propagates any per-access exception;
+    ``"record"`` survives :data:`FAULT_EXCEPTIONS` raised by an access
+    (out-of-range or negative VPNs, adversarial events that desync the
+    hierarchy), skipping the access and flagging the result via
+    ``faulted_accesses``/``fault_records``.
+
+    ``auditor`` optionally enables sanitizer-style invariant checking (see
+    :class:`repro.resilience.auditor.InvariantAuditor`): the accounting
+    identities are verified at every timeline-sample boundary and once
+    more on the finished result.
+    """
 
     def __init__(
         self,
@@ -36,9 +57,16 @@ class Simulator:
         instructions_per_access: float = 3.0,
         sim_params: SimulationParams | None = None,
         energy_model: EnergyModel | None = None,
+        on_fault: str = "raise",
+        auditor=None,
+        max_fault_records: int = 256,
     ) -> None:
         if instructions_per_access <= 0:
-            raise ValueError("instructions_per_access must be positive")
+            raise SimulationError("instructions_per_access must be positive")
+        if on_fault not in ("raise", "record"):
+            raise SimulationError(
+                f"on_fault must be 'raise' or 'record', got {on_fault!r}"
+            )
         self.organization = organization
         self.workload_name = workload_name
         self.instructions_per_access = instructions_per_access
@@ -46,6 +74,9 @@ class Simulator:
         self.energy_model = energy_model or EnergyModel(
             walk_l1_hit_ratio=self.sim_params.walk_l1_hit_ratio
         )
+        self.on_fault = on_fault
+        self.auditor = auditor
+        self.max_fault_records = max_fault_records
 
     # ------------------------------------------------------------------
     def run(
@@ -69,11 +100,11 @@ class Simulator:
         vpns = trace.tolist() if hasattr(trace, "tolist") else list(trace)
         total = len(vpns)
         if total == 0:
-            raise ValueError("empty trace")
+            raise SimulationError("empty trace")
         if fast_forward_accesses is None:
             fast_forward_accesses = int(total * self.sim_params.fast_forward_fraction)
         if not 0 <= fast_forward_accesses < total:
-            raise ValueError("fast-forward must leave accesses to measure")
+            raise SimulationError("fast-forward must leave accesses to measure")
 
         hierarchy = self.organization.hierarchy
         lite = self.organization.lite
@@ -103,6 +134,31 @@ class Simulator:
                 return max(pending_events[event_index][0], 1)
             return total + 1
 
+        # ----- hot loop: plain in strict mode, per-access in tolerant ---
+        tolerant = self.on_fault == "record"
+        faults: list[FaultRecord] = []
+        faulted = 0
+
+        def drain(start: int, stop: int) -> None:
+            nonlocal faulted
+            if not tolerant:
+                for vpn in vpns[start:stop]:
+                    access(vpn)
+                return
+            i = start
+            while i < stop:
+                try:
+                    while i < stop:
+                        access(vpns[i])
+                        i += 1
+                except FAULT_EXCEPTIONS as exc:
+                    if len(faults) < self.max_fault_records:
+                        faults.append(
+                            FaultRecord(i, int(vpns[i]), type(exc).__name__, str(exc))
+                        )
+                    faulted += 1
+                    i += 1
+
         # ----- fast-forward (warm structures, Lite live, stats discarded)
         pos = 0
         next_interval = interval_accesses if lite else total + 1
@@ -110,8 +166,7 @@ class Simulator:
         fire_events(0)
         while pos < fast_forward_accesses:
             stop = min(fast_forward_accesses, next_interval, next_event_position())
-            for vpn in vpns[pos:stop]:
-                access(vpn)
+            drain(pos, stop)
             pos = stop
             fire_events(pos)
             if lite is not None and pos == next_interval:
@@ -134,8 +189,7 @@ class Simulator:
         timeline: list[TimelineSample] = []
         while pos < total:
             stop = min(total, next_interval, next_sample, next_event_position())
-            for vpn in vpns[pos:stop]:
-                access(vpn)
+            drain(pos, stop)
             pos = stop
             fire_events(pos)
             if lite is not None and pos == next_interval:
@@ -155,6 +209,8 @@ class Simulator:
                 )
                 last_sample_misses = misses
                 next_sample += window
+                if self.auditor is not None:
+                    self.auditor.audit_hierarchy(hierarchy, lite, faulted)
 
         # ----- collect results ------------------------------------------
         hierarchy.sync_stats()
@@ -164,7 +220,7 @@ class Simulator:
             page_walk_refs=hierarchy.walker.stats.memory_refs,
             range_walk_refs=hierarchy.range_walk_refs,
         )
-        return SimulationResult(
+        result = SimulationResult(
             configuration=self.organization.name,
             workload=self.workload_name,
             accesses=measured,
@@ -183,4 +239,12 @@ class Simulator:
             hit_attribution=hierarchy.hit_attribution(),
             timeline=timeline,
             lite_intervals=(lite.stats.intervals - lite_intervals_before) if lite else 0,
+            faulted_accesses=faulted,
+            fault_records=faults,
         )
+        if self.auditor is not None:
+            self.auditor.audit_hierarchy(hierarchy, lite, faulted)
+            self.auditor.audit_result(
+                result, self.organization, self.energy_model
+            )
+        return result

@@ -10,6 +10,16 @@ from ..tlb.base import TLBStats
 
 
 @dataclass(frozen=True, slots=True)
+class FaultRecord:
+    """One access the simulator survived in fault-tolerant mode."""
+
+    index: int  # trace position of the faulting access
+    vpn: int
+    error: str  # exception class name
+    message: str
+
+
+@dataclass(frozen=True, slots=True)
 class TimelineSample:
     """One Figure 4-style window: aggregate L1 MPKI over the window."""
 
@@ -37,6 +47,15 @@ class SimulationResult:
     hit_attribution: dict[str, int]
     timeline: list[TimelineSample] = field(default_factory=list)
     lite_intervals: int = 0
+    # Fault-tolerant mode: accesses that raised and were skipped (count
+    # covers the whole trace incl. fast-forward; records are capped).
+    faulted_accesses: int = 0
+    fault_records: list[FaultRecord] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any access faulted — treat the numbers as flagged."""
+        return self.faulted_accesses > 0
 
     # ------------------------------------------------------------------
     @property

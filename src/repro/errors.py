@@ -1,0 +1,134 @@
+"""Structured error taxonomy for the whole simulator.
+
+Every failure the pipeline can produce maps onto one of these classes so
+callers (the CLI, the resilient sweep runner, test harnesses) can react
+by *kind* instead of string-matching messages:
+
+``ReproError``
+    Root of the taxonomy; everything below derives from it.
+``SettingsError``
+    Invalid run-level knobs (``ExperimentSettings`` validation).
+``TraceError``
+    A reference stream that cannot be trusted: missing sidecar files,
+    corrupt arrays, bad metadata.  ``TraceIOError`` additionally derives
+    from :class:`FileNotFoundError` so pre-taxonomy callers keep working.
+``UnknownNameError``
+    A lookup by name failed; carries did-you-mean ``suggestions``.
+    Derives from :class:`KeyError` for backward compatibility.
+``SimulationError``
+    The simulator cannot run the given trace/configuration combination.
+``InvariantViolation``
+    The runtime auditor found an accounting identity broken; carries a
+    ``context`` dict with every number that went into the check.
+``SweepError``
+    The resilient sweep runner cannot proceed (e.g. a resume journal that
+    does not match the requested matrix).
+``TransientSimulationError``
+    Marker for failures worth retrying (the sweep runner's backoff path).
+
+Most classes double-derive from the built-in exception they historically
+replaced (``ValueError``, ``KeyError``, ``FileNotFoundError``) so that
+existing ``except``/``pytest.raises`` sites keep catching them.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable
+
+
+class ReproError(Exception):
+    """Base class of every structured simulator error."""
+
+
+class SettingsError(ReproError, ValueError):
+    """Invalid experiment-level settings."""
+
+
+class TraceError(ReproError, ValueError):
+    """A reference stream (or its metadata) is malformed."""
+
+
+class TraceIOError(TraceError, FileNotFoundError):
+    """A trace's ``.npy``/``.json`` sidecar pair is missing or unreadable."""
+
+
+class SimulationError(ReproError, ValueError):
+    """The simulator cannot run this trace/configuration combination."""
+
+
+class SweepError(ReproError):
+    """The sweep runner cannot proceed (bad journal, bad matrix)."""
+
+
+class TransientSimulationError(ReproError):
+    """A failure the sweep runner should retry with backoff."""
+
+
+class UnknownNameError(ReproError, KeyError):
+    """A name lookup failed; carries did-you-mean suggestions.
+
+    ``str()`` renders the full message (overriding :class:`KeyError`'s
+    repr-of-args behaviour) so tracebacks and CLI output stay readable.
+    """
+
+    kind = "name"
+
+    def __init__(self, name: str, known: Iterable[str]) -> None:
+        self.name = name
+        self.known = sorted(known)
+        self.suggestions = did_you_mean(name, self.known)
+        message = f"unknown {self.kind} {name!r}"
+        if self.suggestions:
+            message += "; did you mean: " + ", ".join(self.suggestions) + "?"
+        message += " (known: " + ", ".join(self.known) + ")"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class UnknownWorkloadError(UnknownNameError):
+    """No workload registered under this name."""
+
+    kind = "workload"
+
+
+class UnknownConfigError(UnknownNameError):
+    """No TLB configuration registered under this name."""
+
+    kind = "configuration"
+
+
+class InvariantViolation(ReproError):
+    """An accounting identity failed during or after simulation.
+
+    Parameters
+    ----------
+    invariant:
+        Short machine-readable identifier (e.g. ``"hit-attribution"``).
+    message:
+        Human-readable statement of what broke.
+    context:
+        Every value that participated in the check, for post-mortems.
+    """
+
+    def __init__(self, invariant: str, message: str, context: dict | None = None) -> None:
+        self.invariant = invariant
+        self.context = dict(context or {})
+        detail = ""
+        if self.context:
+            detail = " [" + ", ".join(
+                f"{key}={value!r}" for key, value in sorted(self.context.items())
+            ) + "]"
+        super().__init__(f"invariant {invariant!r} violated: {message}{detail}")
+
+
+def did_you_mean(name: str, known: Iterable[str], limit: int = 3) -> list[str]:
+    """Closest known names to a mistyped one (case-insensitive)."""
+    known = list(known)
+    by_folded = {candidate.casefold(): candidate for candidate in known}
+    matches = difflib.get_close_matches(
+        name.casefold(), list(by_folded), n=limit, cutoff=0.5
+    )
+    return [by_folded[match] for match in matches]

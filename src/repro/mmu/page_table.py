@@ -25,6 +25,12 @@ from .translation import (
 )
 
 
+#: Bits of 4 KB page number a four-level table can translate (48-bit VA).
+VPN_BITS = LEVEL_BITS * 4
+#: One past the highest representable 4 KB page number.
+VPN_LIMIT = 1 << VPN_BITS
+
+
 class PageFault(Exception):
     """Raised when a walk reaches an unmapped virtual page."""
 
@@ -86,6 +92,10 @@ class PageTable:
         (the OS substrate must unmap first), which catches accidental
         double-allocation bugs in paging policies.
         """
+        if not 0 <= translation.vpn <= VPN_LIMIT - int(translation.page_size):
+            raise ValueError(
+                f"vpn {translation.vpn:#x} outside the {VPN_BITS}-bit page-number space"
+            )
         leaf_level = _LEAF_LEVEL[translation.page_size]
         node = self.root
         while node.level > leaf_level:
@@ -139,7 +149,16 @@ class PageTable:
     # Lookup / walking
     # ------------------------------------------------------------------
     def lookup(self, vpn4k: int) -> Optional[Translation]:
-        """Find the leaf translation covering a 4 KB page, or ``None``."""
+        """Find the leaf translation covering a 4 KB page, or ``None``.
+
+        Page numbers outside the four-level table's reach (negative, or
+        at/above ``VPN_LIMIT``) are unmapped by definition.  Without this
+        guard the per-level 9-bit masking would silently wrap them onto
+        low addresses and hand back a wrong translation — exactly the
+        corruption a hostile trace would exploit.
+        """
+        if not 0 <= vpn4k < VPN_LIMIT:
+            return None
         node = self.root
         while True:
             entry = node.entries.get(node.index_for(vpn4k))

@@ -1,0 +1,42 @@
+"""Robustness subsystem: fault injection, invariant auditing, resilient sweeps.
+
+Three pillars, each usable on its own:
+
+* :mod:`repro.resilience.faults` — perturb reference streams and schedule
+  adversarial OS events to prove the pipeline degrades gracefully;
+* :mod:`repro.resilience.auditor` — a sanitizer-style runtime mode that
+  checks accounting identities during and after simulation;
+* :mod:`repro.resilience.sweep` — a checkpointing sweep runner with
+  per-cell isolation, retries, timeouts, and ``--resume``.
+"""
+
+from .auditor import InvariantAuditor
+from .faults import (
+    TRACE_FAULTS,
+    CampaignCell,
+    CampaignReport,
+    adversarial_events,
+    inject_duplicate_bursts,
+    inject_negative_vpns,
+    inject_out_of_range,
+    run_fault_campaign,
+    truncate_trace,
+)
+from .sweep import SweepCell, SweepJournal, SweepReport, run_resilient_sweep
+
+__all__ = [
+    "InvariantAuditor",
+    "TRACE_FAULTS",
+    "CampaignCell",
+    "CampaignReport",
+    "adversarial_events",
+    "inject_duplicate_bursts",
+    "inject_negative_vpns",
+    "inject_out_of_range",
+    "run_fault_campaign",
+    "truncate_trace",
+    "SweepCell",
+    "SweepJournal",
+    "SweepReport",
+    "run_resilient_sweep",
+]

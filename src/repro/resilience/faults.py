@@ -1,0 +1,281 @@
+"""Fault injection: hostile traces and adversarial OS event schedules.
+
+Utopia and Victima evaluate translation under hostile or irregular
+mapping conditions; this module brings the same adversarial mindset to
+the reproduction.  Two families of faults:
+
+* **trace perturbations** — pure functions over a VPN array that model
+  corrupted or pathological reference streams: out-of-range VPNs (beyond
+  any mapped VMA), negative VPNs (sign-corrupted records), truncation
+  (a cut-short capture), and duplicate bursts (a stuck trace writer);
+* **adversarial OS events** — schedules for the simulator's ``events``
+  hook: random full TLB shootdowns (context-switch storms) and huge-page
+  demotion storms (memory pressure breaking THP mappings mid-run).
+
+:func:`run_fault_campaign` drives a (fault × configuration) matrix for
+one workload through the canonical pipeline with the simulator in
+fault-tolerant mode and reports, per cell, whether the run survived and
+how degraded it is.  The acceptance bar is *no unhandled exceptions*:
+every failure is either absorbed (flagged stats) or reported as a
+structured error in the campaign cell.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.experiments import ExperimentSettings, prepare_run
+from ..errors import ReproError
+from ..resilience.auditor import InvariantAuditor
+
+#: A VPN far beyond any mapped VMA (the 48-bit canonical ceiling).
+OUT_OF_RANGE_VPN = 1 << 36
+
+
+def _as_array(trace) -> np.ndarray:
+    return np.asarray(trace, dtype=np.int64)
+
+
+def inject_out_of_range(trace, fraction: float = 0.01, seed: int = 0) -> np.ndarray:
+    """Replace a random fraction of VPNs with unmapped, huge ones."""
+    vpns = _as_array(trace).copy()
+    rng = np.random.default_rng(seed)
+    count = max(1, int(len(vpns) * fraction))
+    victims = rng.choice(len(vpns), size=count, replace=False)
+    vpns[victims] = OUT_OF_RANGE_VPN + rng.integers(0, 1 << 20, size=count)
+    return vpns
+
+
+def inject_negative_vpns(trace, fraction: float = 0.01, seed: int = 0) -> np.ndarray:
+    """Sign-corrupt a random fraction of VPNs (negated, offset by one)."""
+    vpns = _as_array(trace).copy()
+    rng = np.random.default_rng(seed)
+    count = max(1, int(len(vpns) * fraction))
+    victims = rng.choice(len(vpns), size=count, replace=False)
+    vpns[victims] = -(np.abs(vpns[victims]) + 1)
+    return vpns
+
+
+def truncate_trace(trace, keep_fraction: float = 0.25, seed: int = 0) -> np.ndarray:
+    """Cut the stream short, as a capture that died mid-run would."""
+    vpns = _as_array(trace)
+    keep = max(1, int(len(vpns) * keep_fraction))
+    return vpns[:keep].copy()
+
+
+def inject_duplicate_bursts(
+    trace, bursts: int = 4, burst_length: int = 512, seed: int = 0
+) -> np.ndarray:
+    """Overwrite random windows with a single repeated VPN (stuck writer)."""
+    vpns = _as_array(trace).copy()
+    rng = np.random.default_rng(seed)
+    for _ in range(bursts):
+        start = int(rng.integers(0, max(1, len(vpns) - burst_length)))
+        vpns[start : start + burst_length] = vpns[start]
+    return vpns
+
+
+#: Named trace perturbations used by campaigns and the CLI.
+TRACE_FAULTS = {
+    "out_of_range": inject_out_of_range,
+    "negative": inject_negative_vpns,
+    "truncate": truncate_trace,
+    "duplicate_burst": inject_duplicate_bursts,
+}
+
+
+# ----------------------------------------------------------------------
+# Adversarial OS events
+# ----------------------------------------------------------------------
+def shootdown_storm_events(
+    num_accesses: int, storms: int = 3, seed: int = 0
+) -> list[tuple[int, object]]:
+    """Random full-TLB-flush events (context-switch / shootdown storms)."""
+    rng = np.random.default_rng(seed)
+    positions = sorted(
+        int(p) for p in rng.integers(1, max(2, num_accesses), size=storms)
+    )
+
+    def flush(organization) -> None:
+        organization.hierarchy.flush_tlbs()
+
+    return [(position, flush) for position in positions]
+
+
+def demotion_storm_events(
+    process,
+    num_accesses: int,
+    storms: int = 2,
+    fraction: float = 0.5,
+    seed: int = 0,
+) -> list[tuple[int, object]]:
+    """Huge-page demotion storms: break a fraction of live 2 MB pages.
+
+    Each event demotes ``fraction`` of the 2 MB pages still mapped at
+    fire time and sends the matching TLB shootdowns — the paper's
+    Section 4.2.2 memory-pressure scenario, but repeated and randomized.
+    A storm over a process with no huge pages left is a no-op.
+    """
+    from ..mmu.translation import PageSize
+
+    rng = np.random.default_rng(seed)
+    positions = sorted(
+        int(p) for p in rng.integers(1, max(2, num_accesses), size=storms)
+    )
+
+    def storm(organization, _seed_base=seed) -> None:
+        huge = [
+            leaf.vpn
+            for leaf in process.page_table.iter_translations()
+            if leaf.page_size is PageSize.SIZE_2MB
+        ]
+        if not huge:
+            return
+        local = np.random.default_rng(_seed_base + len(huge))
+        victims = local.choice(
+            len(huge), size=max(1, int(len(huge) * fraction)), replace=False
+        )
+        for index in victims:
+            vpn = huge[int(index)]
+            process.break_huge_page(vpn)
+            organization.hierarchy.shootdown_huge_page(vpn)
+
+    return [(position, storm) for position in positions]
+
+
+def adversarial_events(
+    process,
+    num_accesses: int,
+    shootdowns: int = 3,
+    demotion_storms: int = 2,
+    demotion_fraction: float = 0.5,
+    seed: int = 0,
+) -> list[tuple[int, object]]:
+    """Combined shootdown + demotion schedule for one simulation."""
+    events = shootdown_storm_events(num_accesses, storms=shootdowns, seed=seed)
+    events += demotion_storm_events(
+        process,
+        num_accesses,
+        storms=demotion_storms,
+        fraction=demotion_fraction,
+        seed=seed + 1,
+    )
+    return sorted(events, key=lambda event: event[0])
+
+
+# ----------------------------------------------------------------------
+# Campaigns
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class CampaignCell:
+    """Outcome of one (fault, configuration) cell."""
+
+    fault: str
+    configuration: str
+    ok: bool
+    faulted_accesses: int = 0
+    accesses: int = 0
+    energy_per_access_pj: float = 0.0
+    error: str | None = None
+    error_type: str | None = None
+    seconds: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        return self.faulted_accesses > 0
+
+
+@dataclass(slots=True)
+class CampaignReport:
+    """All cells of one workload's fault campaign."""
+
+    workload: str
+    cells: list[CampaignCell] = field(default_factory=list)
+
+    @property
+    def survived(self) -> bool:
+        """True when every cell either ran or failed *structurally*."""
+        return all(
+            cell.ok
+            or (cell.error_type is not None and not cell.error_type.startswith("unhandled:"))
+            for cell in self.cells
+        )
+
+    def failed_cells(self) -> list[CampaignCell]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def summary_lines(self) -> list[str]:
+        lines = []
+        for cell in self.cells:
+            if cell.ok:
+                status = (
+                    f"ok, {cell.faulted_accesses} faulted accesses"
+                    if cell.degraded
+                    else "ok"
+                )
+            else:
+                status = f"handled error: {cell.error_type}: {cell.error}"
+            lines.append(f"{cell.fault:>16s} × {cell.configuration:<9s} {status}")
+        return lines
+
+
+def run_fault_campaign(
+    workload,
+    config_names: tuple[str, ...] = ("THP", "TLB_Lite", "RMM_Lite"),
+    settings: ExperimentSettings | None = None,
+    faults: tuple[str, ...] = tuple(TRACE_FAULTS),
+    os_events: bool = True,
+    audit: bool = False,
+    seed: int = 0,
+) -> CampaignReport:
+    """Run every (fault × configuration) cell in fault-tolerant mode.
+
+    Trace faults named in ``faults`` must be keys of :data:`TRACE_FAULTS`;
+    the pseudo-fault ``"os_events"`` (added when ``os_events`` is true)
+    runs an unperturbed trace under a shootdown + demotion schedule.
+    Every cell is isolated: an exception is captured into the cell, never
+    propagated, so a campaign always returns a full report.
+    """
+    settings = settings or ExperimentSettings(trace_accesses=50_000)
+    report = CampaignReport(workload=workload.name)
+    plans = [(name, TRACE_FAULTS[name]) for name in faults]
+    if os_events:
+        plans.append(("os_events", None))
+    for fault_name, perturb in plans:
+        for config_name in config_names:
+            started = time.perf_counter()
+            cell = CampaignCell(fault=fault_name, configuration=config_name, ok=False)
+            try:
+                auditor = InvariantAuditor() if audit else None
+                prepared = prepare_run(
+                    workload,
+                    config_name,
+                    settings,
+                    auditor=auditor,
+                    on_fault="record",
+                )
+                if perturb is not None:
+                    prepared.trace = perturb(prepared.trace, seed=seed)
+                events = None
+                if fault_name == "os_events":
+                    events = adversarial_events(
+                        prepared.process, len(prepared.trace), seed=seed
+                    )
+                result = prepared.run(events=events)
+                cell.ok = True
+                cell.faulted_accesses = result.faulted_accesses
+                cell.accesses = result.accesses
+                cell.energy_per_access_pj = result.energy_per_access_pj
+            except ReproError as exc:
+                # Structured, expected degradation: report, don't crash.
+                cell.error = str(exc)
+                cell.error_type = type(exc).__name__
+            except Exception as exc:  # noqa: BLE001 — campaign isolation
+                cell.error = str(exc)
+                cell.error_type = f"unhandled:{type(exc).__name__}"
+            cell.seconds = time.perf_counter() - started
+            report.cells.append(cell)
+    return report

@@ -1,0 +1,369 @@
+"""Resilient sweep runner: checkpointed, isolated, resumable matrices.
+
+The paper's figures come from (workload × configuration) sweeps that can
+run for hours at full scale; a crash in cell 47 of 60 must not cost the
+previous 46.  This runner hardens :func:`repro.analysis.experiments.run_matrix`
+with:
+
+* **per-cell isolation** — one cell's exception never kills the sweep;
+  the cell is marked failed and the matrix continues;
+* **retry with backoff** — transient failures get ``retries`` further
+  attempts with exponential backoff before the cell is given up;
+* **per-cell wall-clock timeouts** — a hung cell is abandoned (the
+  worker thread is a daemon) and marked ``timeout``;
+* **a JSON checkpoint journal** — every completed cell is appended (and
+  fsynced) to a JSON-lines journal keyed by a fingerprint of the matrix,
+  so an interrupted sweep resumes exactly where it stopped;
+* **partial-result reporting** — the report distinguishes ``ok``,
+  ``resumed`` (loaded from the journal), ``failed``, ``timeout``, and
+  ``skipped`` cells instead of silently dropping them.
+
+Determinism contract: a resumed sweep produces byte-identical result rows
+to an uninterrupted one, because rows for already-completed cells are
+replayed verbatim from the journal and fresh cells are seeded exactly as
+the original run would have seeded them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..analysis.experiments import ExperimentSettings, run_workload_config
+from ..core.organizations import CONFIG_NAMES
+from ..errors import SweepError, TransientSimulationError
+from .auditor import InvariantAuditor
+
+JOURNAL_VERSION = 1
+
+
+class _CellTimeout(Exception):
+    """Internal marker: the cell exceeded its wall-clock budget."""
+
+
+def result_row(result) -> dict:
+    """Stable JSON-serializable row for one finished cell.
+
+    Only derived scalars — floats serialize via ``repr`` (shortest
+    round-trip form), so identical simulations yield identical bytes.
+    """
+    return {
+        "workload": result.workload,
+        "configuration": result.configuration,
+        "accesses": result.accesses,
+        "instructions": result.instructions,
+        "l1_misses": result.l1_misses,
+        "l2_misses": result.l2_misses,
+        "page_walks": result.page_walks,
+        "total_energy_pj": result.total_energy_pj,
+        "energy_per_access_pj": result.energy_per_access_pj,
+        "l1_mpki": result.l1_mpki,
+        "l2_mpki": result.l2_mpki,
+        "miss_cycles": result.miss_cycles,
+        "faulted_accesses": result.faulted_accesses,
+    }
+
+
+def _fingerprint(
+    workload_names: list[str],
+    config_names: tuple[str, ...],
+    settings: ExperimentSettings,
+) -> dict:
+    return {
+        "workloads": list(workload_names),
+        "configurations": list(config_names),
+        "trace_accesses": settings.trace_accesses,
+        "seed": settings.seed,
+        "thp_coverage": settings.thp_coverage,
+        "physical_bytes": settings.physical_bytes,
+    }
+
+
+def _cell_key(workload_name: str, config_name: str) -> str:
+    return f"{workload_name}|{config_name}"
+
+
+class SweepJournal:
+    """Append-only JSON-lines checkpoint of completed sweep cells.
+
+    Line 1 is a header with the matrix fingerprint; each further line is
+    ``{"key": ..., "row": {...}}``.  Appends are flushed and fsynced so a
+    kill loses at most the cell in flight; a torn trailing line (partial
+    write) is tolerated and ignored on load.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def start(self, fingerprint: dict) -> None:
+        """Truncate and write the header for a fresh sweep."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w") as handle:
+            handle.write(
+                json.dumps(
+                    {"journal_version": JOURNAL_VERSION, "fingerprint": fingerprint},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self, fingerprint: dict) -> dict[str, dict]:
+        """Completed rows keyed by cell; validates the fingerprint."""
+        if not self.exists():
+            raise SweepError(f"no journal to resume at {self.path}")
+        completed: dict[str, dict] = {}
+        with open(self.path) as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            raise SweepError(f"journal {self.path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise SweepError(f"journal {self.path} has a corrupt header") from exc
+        if header.get("journal_version") != JOURNAL_VERSION:
+            raise SweepError(
+                f"journal {self.path} has version "
+                f"{header.get('journal_version')!r}, expected {JOURNAL_VERSION}"
+            )
+        if header.get("fingerprint") != fingerprint:
+            raise SweepError(
+                f"journal {self.path} was written for a different matrix; "
+                "refusing to resume (delete it or match the original settings)"
+            )
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line from a mid-write kill
+            if "key" in record and "row" in record:
+                completed[record["key"]] = record["row"]
+        return completed
+
+    def append(self, key: str, row: dict) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps({"key": key, "row": row}, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+@dataclass(slots=True)
+class SweepCell:
+    """Outcome of one (workload, configuration) cell."""
+
+    workload: str
+    configuration: str
+    status: str  # ok | resumed | failed | timeout | skipped
+    row: dict | None = None
+    error: str | None = None
+    attempts: int = 0
+    seconds: float = 0.0
+
+    @property
+    def completed(self) -> bool:
+        return self.status in ("ok", "resumed")
+
+
+@dataclass(slots=True)
+class SweepReport:
+    """Every cell of one sweep, completed or not."""
+
+    cells: list[SweepCell] = field(default_factory=list)
+    interrupted: bool = False
+
+    def rows(self) -> list[dict]:
+        return [cell.row for cell in self.cells if cell.completed]
+
+    def cell(self, workload: str, configuration: str) -> SweepCell | None:
+        for cell in self.cells:
+            if cell.workload == workload and cell.configuration == configuration:
+                return cell
+        return None
+
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for cell in self.cells if cell.completed)
+
+    @property
+    def failed_cells(self) -> list[SweepCell]:
+        return [cell for cell in self.cells if cell.status in ("failed", "timeout")]
+
+    def summary(self) -> str:
+        counts: dict[str, int] = {}
+        for cell in self.cells:
+            counts[cell.status] = counts.get(cell.status, 0) + 1
+        return ", ".join(f"{status}: {count}" for status, count in sorted(counts.items()))
+
+
+def _run_with_timeout(fn, timeout_s: float | None):
+    """Run ``fn`` with a wall-clock budget; raise :class:`_CellTimeout`.
+
+    The worker is a daemon thread: on timeout it is abandoned (Python
+    cannot kill threads), which is acceptable for simulation cells — they
+    hold no external resources and die with the process.
+    """
+    if timeout_s is None:
+        return fn()
+    box: dict = {}
+
+    def target() -> None:
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 — marshalled to caller
+            box["error"] = exc
+
+    worker = threading.Thread(target=target, daemon=True)
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive():
+        raise _CellTimeout(f"cell exceeded {timeout_s} s")
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+def run_resilient_sweep(
+    workloads,
+    config_names: tuple[str, ...] = CONFIG_NAMES,
+    settings: ExperimentSettings | None = None,
+    journal_path=None,
+    resume: bool = False,
+    retries: int = 1,
+    backoff_s: float = 0.05,
+    cell_timeout_s: float | None = None,
+    audit: bool = False,
+    max_cells: int | None = None,
+    progress=None,
+) -> SweepReport:
+    """Run the (workload × configuration) matrix with full hardening.
+
+    Parameters beyond the matrix itself:
+
+    ``journal_path`` / ``resume``
+        Enable the checkpoint journal; with ``resume`` the journal's
+        completed cells are replayed instead of re-simulated.
+    ``retries`` / ``backoff_s``
+        Extra attempts per failing cell with exponential backoff
+        (:class:`repro.errors.TransientSimulationError` and any other
+        exception alike; timeouts are not retried).
+    ``cell_timeout_s``
+        Wall-clock budget per attempt.
+    ``audit``
+        Attach a fresh :class:`InvariantAuditor` to every cell.
+    ``max_cells``
+        Stop after this many *executed* cells (test hook that simulates a
+        mid-matrix kill; remaining cells are reported as ``skipped``).
+    ``progress``
+        Optional callable invoked with each finished :class:`SweepCell`.
+    """
+    settings = settings or ExperimentSettings()
+    workloads = list(workloads)
+    fingerprint = _fingerprint([w.name for w in workloads], config_names, settings)
+    journal = SweepJournal(journal_path) if journal_path is not None else None
+    completed: dict[str, dict] = {}
+    if journal is not None:
+        if resume and journal.exists():
+            completed = journal.load(fingerprint)
+        else:
+            # Fresh sweep (or resume with nothing to resume yet).
+            journal.start(fingerprint)
+    elif resume:
+        raise SweepError("--resume requires a journal path")
+
+    report = SweepReport()
+    executed = 0
+    for workload in workloads:
+        for config_name in config_names:
+            key = _cell_key(workload.name, config_name)
+            if key in completed:
+                cell = SweepCell(
+                    workload=workload.name,
+                    configuration=config_name,
+                    status="resumed",
+                    row=completed[key],
+                )
+                report.cells.append(cell)
+                if progress is not None:
+                    progress(cell)
+                continue
+            if max_cells is not None and executed >= max_cells:
+                report.interrupted = True
+                cell = SweepCell(
+                    workload=workload.name,
+                    configuration=config_name,
+                    status="skipped",
+                )
+                report.cells.append(cell)
+                continue
+            cell = _run_cell(
+                workload,
+                config_name,
+                settings,
+                retries=retries,
+                backoff_s=backoff_s,
+                cell_timeout_s=cell_timeout_s,
+                audit=audit,
+            )
+            executed += 1
+            if cell.completed and journal is not None:
+                journal.append(key, cell.row)
+            report.cells.append(cell)
+            if progress is not None:
+                progress(cell)
+    return report
+
+
+def _run_cell(
+    workload,
+    config_name: str,
+    settings: ExperimentSettings,
+    retries: int,
+    backoff_s: float,
+    cell_timeout_s: float | None,
+    audit: bool,
+) -> SweepCell:
+    """One isolated cell: attempts, backoff, timeout, structured outcome."""
+    cell = SweepCell(workload=workload.name, configuration=config_name, status="failed")
+    started = time.perf_counter()
+    delay = backoff_s
+    for attempt in range(retries + 1):
+        cell.attempts = attempt + 1
+        try:
+            def simulate():
+                auditor = InvariantAuditor() if audit else None
+                result = run_workload_config(
+                    workload,
+                    config_name,
+                    settings,
+                    auditor=auditor,
+                    on_fault="record",
+                )
+                return result_row(result)
+
+            cell.row = _run_with_timeout(simulate, cell_timeout_s)
+            cell.status = "ok"
+            cell.error = None
+            break
+        except _CellTimeout as exc:
+            cell.status = "timeout"
+            cell.error = str(exc)
+            break  # a hung cell will hang again; don't retry
+        except TransientSimulationError as exc:
+            cell.status = "failed"
+            cell.error = f"{type(exc).__name__}: {exc}"
+        except Exception as exc:  # noqa: BLE001 — per-cell isolation
+            cell.status = "failed"
+            cell.error = f"{type(exc).__name__}: {exc}"
+        if attempt < retries:
+            time.sleep(delay)
+            delay *= 2
+    cell.seconds = time.perf_counter() - started
+    return cell

@@ -66,15 +66,20 @@ class SemanticPartitionedTLB(TranslationStructure):
     def sync_stats(self) -> None:
         """Aggregate partition counters (per-partition stats stay primary).
 
-        Hit/miss totals are summed for reporting; per-way histograms are
-        *not* merged because the partitions have different geometries —
-        the energy model binds each partition separately.
+        Hit/miss totals and the per-way histograms are summed for
+        reporting, keeping the aggregate self-consistent (histogram totals
+        equal hits + misses — the invariant auditor checks this identity
+        on every structure).  The merged histograms are *not* used for
+        energy: partitions have different geometries, so the energy model
+        binds each partition separately.
         """
         self.stats.reset()
         for partition in self.partitions:
             partition.sync_stats()
             self.stats.hits += partition.stats.hits
             self.stats.misses += partition.stats.misses
+            self.stats.lookups_by_ways.update(partition.stats.lookups_by_ways)
+            self.stats.fills_by_ways.update(partition.stats.fills_by_ways)
 
     def reset_stats(self) -> None:
         """Reset this structure's and every partition's statistics."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from ..errors import UnknownWorkloadError
 from .base import Workload
 from .secondary import parsec_other_workloads, spec_other_workloads
 from .benchmarks import TLB_INTENSIVE_BUILDERS
@@ -31,11 +32,14 @@ def all_workloads() -> dict[str, Workload]:
 
 
 def get_workload(name: str) -> Workload:
-    """Look one workload up by name (KeyError with suggestions)."""
+    """Look one workload up by name.
+
+    Raises :class:`repro.errors.UnknownWorkloadError` (a ``KeyError``)
+    carrying did-you-mean suggestions and the full known-name list.
+    """
     workloads = all_workloads()
     if name not in workloads:
-        known = ", ".join(sorted(workloads))
-        raise KeyError(f"unknown workload {name!r}; known: {known}")
+        raise UnknownWorkloadError(name, workloads)
     return workloads[name]
 
 

@@ -16,6 +16,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..errors import TraceError, TraceIOError
+
 FORMAT_VERSION = 1
 
 
@@ -41,15 +43,28 @@ class TraceMetadata:
 
     @classmethod
     def from_json(cls, payload: dict) -> "TraceMetadata":
+        if not isinstance(payload, dict):
+            raise TraceError(f"trace metadata must be a JSON object, got {type(payload).__name__}")
         version = payload.get("format_version")
         if version != FORMAT_VERSION:
-            raise ValueError(f"unsupported trace format version {version!r}")
+            raise TraceError(f"unsupported trace format version {version!r}")
+        missing = [key for key in ("workload", "instructions_per_access") if key not in payload]
+        if missing:
+            raise TraceError(f"trace metadata is missing required keys: {missing}")
+        ipa = payload["instructions_per_access"]
+        if not isinstance(ipa, (int, float)) or isinstance(ipa, bool) or not ipa > 0:
+            raise TraceError(
+                f"instructions_per_access must be a positive number, got {ipa!r}"
+            )
+        vmas = payload.get("vmas", [])
+        if not isinstance(vmas, list) or not all(isinstance(vma, dict) for vma in vmas):
+            raise TraceError("trace metadata 'vmas' must be a list of objects")
         return cls(
             workload=payload["workload"],
-            instructions_per_access=payload["instructions_per_access"],
+            instructions_per_access=float(ipa),
             seed=payload.get("seed"),
             description=payload.get("description", ""),
-            vmas=payload.get("vmas", []),
+            vmas=vmas,
         )
 
 
@@ -58,9 +73,14 @@ def save_trace(stem, trace, metadata: TraceMetadata) -> tuple[Path, Path]:
     stem = Path(stem)
     pages = np.asarray(trace, dtype=np.int64)
     if pages.ndim != 1 or len(pages) == 0:
-        raise ValueError("trace must be a non-empty 1-D sequence")
+        raise TraceError("trace must be a non-empty 1-D sequence")
     if pages.min() < 0:
-        raise ValueError("page numbers must be non-negative")
+        raise TraceError("page numbers must be non-negative")
+    if metadata.instructions_per_access <= 0:
+        raise TraceError(
+            "metadata instructions_per_access must be positive, got "
+            f"{metadata.instructions_per_access!r}"
+        )
     npy_path = stem.with_suffix(".npy")
     json_path = stem.with_suffix(".json")
     np.save(npy_path, pages)
@@ -69,14 +89,40 @@ def save_trace(stem, trace, metadata: TraceMetadata) -> tuple[Path, Path]:
 
 
 def load_trace(stem) -> tuple[np.ndarray, TraceMetadata]:
-    """Load a trace saved by :func:`save_trace`."""
+    """Load and validate a trace saved by :func:`save_trace`.
+
+    Every way the sidecar pair can be broken maps to a structured
+    :class:`repro.errors.TraceError`: a missing half of the pair, an
+    unparsable ``.npy`` or ``.json``, a wrong dtype or shape, empty or
+    negative page numbers, and bad metadata values.
+    """
     stem = Path(stem)
     npy_path = stem.with_suffix(".npy")
     json_path = stem.with_suffix(".json")
-    if not npy_path.exists() or not json_path.exists():
-        raise FileNotFoundError(f"missing {npy_path} or {json_path}")
-    pages = np.load(npy_path)
-    metadata = TraceMetadata.from_json(json.loads(json_path.read_text()))
+    missing = [str(path) for path in (npy_path, json_path) if not path.exists()]
+    if missing:
+        raise TraceIOError(
+            f"incomplete trace {stem}: missing sidecar file(s) {', '.join(missing)}"
+        )
+    try:
+        pages = np.load(npy_path)
+    except (OSError, ValueError) as exc:
+        raise TraceError(f"cannot read trace array {npy_path}: {exc}") from exc
+    if not isinstance(pages, np.ndarray) or pages.ndim != 1:
+        raise TraceError(f"{npy_path} must hold a 1-D array")
+    if not np.issubdtype(pages.dtype, np.integer):
+        raise TraceError(
+            f"{npy_path} must hold integer page numbers, got dtype {pages.dtype}"
+        )
+    if len(pages) == 0:
+        raise TraceError(f"{npy_path} holds an empty trace")
+    if int(pages.min()) < 0:
+        raise TraceError(f"{npy_path} holds negative page numbers")
+    try:
+        payload = json.loads(json_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TraceError(f"cannot parse trace metadata {json_path}: {exc}") from exc
+    metadata = TraceMetadata.from_json(payload)
     return pages, metadata
 
 
@@ -112,7 +158,7 @@ def workload_from_metadata(metadata: TraceMetadata):
     from ..workloads.base import Workload
 
     if not metadata.vmas:
-        raise ValueError("metadata carries no VMA layout")
+        raise TraceError("metadata carries no VMA layout")
 
     class _LoadedWorkload(Workload):
         def __init__(self) -> None:

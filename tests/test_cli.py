@@ -37,13 +37,18 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "L1-range" in out
 
-    def test_unknown_workload_raises(self):
-        with pytest.raises(KeyError):
-            main(["run", "not-a-workload"])
+    def test_unknown_workload_reports_did_you_mean(self, capsys):
+        assert main(["run", "mfc"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "mcf" in err
+        assert "Traceback" not in err
 
-    def test_unknown_config_rejected(self):
+    def test_unknown_config_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["describe", "bogus"])
+        err = capsys.readouterr().err
+        assert "unknown configuration" in err
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -8,6 +8,7 @@ and assert the energy ratios stay in a tight band.
 import pytest
 
 from repro.analysis.experiments import ExperimentSettings, run_workload_config
+from repro.resilience.auditor import InvariantAuditor
 from repro.workloads.registry import get_workload
 
 SEEDS = (11, 22, 33)
@@ -36,6 +37,21 @@ class TestSeedStability:
         values = ratios["RMM_Lite"]
         assert max(values) - min(values) < 0.1
         assert all(value < 0.5 for value in values)
+
+
+class TestAuditedStability:
+    def test_auditor_does_not_change_results(self, ratios):
+        """The invariant auditor is read-only: enabling it must reproduce
+        the unaudited energy ratio bit for bit."""
+        workload = get_workload("cactusADM")
+        settings = ExperimentSettings(trace_accesses=80_000, seed=SEEDS[0])
+        auditor = InvariantAuditor()
+        thp = run_workload_config(workload, "THP", settings, auditor=auditor)
+        lite = run_workload_config(workload, "TLB_Lite", settings, auditor=auditor)
+        audited_ratio = lite.total_energy_pj / thp.total_energy_pj
+        assert audited_ratio == ratios["TLB_Lite"][0]
+        assert auditor.checks_run > 0
+        assert not auditor.violations
 
 
 class TestTraceLengthStability:

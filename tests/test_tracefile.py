@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.organizations import build_organization, paging_policy_for
 from repro.core.simulator import Simulator
+from repro.errors import TraceError, TraceIOError
 from repro.mem.physical import PhysicalMemory
 from repro.workloads.registry import get_workload
 from repro.workloads.tracefile import (
@@ -48,6 +49,76 @@ class TestSaveLoad:
         (tmp_path / "v.json").write_text(json.dumps(payload))
         with pytest.raises(ValueError):
             load_trace(tmp_path / "v")
+
+
+class TestCorruptionRoundTrip:
+    """Every corruption of an on-disk trace maps to a TraceError, never a
+    raw numpy/json traceback."""
+
+    @pytest.fixture
+    def saved(self, tmp_path):
+        trace = np.arange(64, dtype=np.int64)
+        save_trace(tmp_path / "t", trace, TraceMetadata("toy", 2.0, seed=1))
+        return tmp_path / "t"
+
+    def test_missing_sidecar_names_the_file(self, saved):
+        saved.with_suffix(".json").unlink()
+        with pytest.raises(TraceIOError) as excinfo:
+            load_trace(saved)
+        assert ".json" in str(excinfo.value)
+        assert isinstance(excinfo.value, FileNotFoundError)
+
+    def test_truncated_npy_rejected(self, saved):
+        npy = saved.with_suffix(".npy")
+        npy.write_bytes(npy.read_bytes()[:20])
+        with pytest.raises(TraceError):
+            load_trace(saved)
+
+    def test_garbage_npy_rejected(self, saved):
+        saved.with_suffix(".npy").write_bytes(b"\x00" * 64)
+        with pytest.raises(TraceError):
+            load_trace(saved)
+
+    def test_wrong_dtype_rejected(self, saved):
+        np.save(saved.with_suffix(".npy"), np.linspace(0.0, 1.0, 16))
+        with pytest.raises(TraceError):
+            load_trace(saved)
+
+    def test_wrong_shape_rejected(self, saved):
+        np.save(saved.with_suffix(".npy"), np.zeros((4, 4), dtype=np.int64))
+        with pytest.raises(TraceError):
+            load_trace(saved)
+
+    def test_negative_page_numbers_rejected(self, saved):
+        np.save(saved.with_suffix(".npy"), np.array([3, -1, 5], dtype=np.int64))
+        with pytest.raises(TraceError):
+            load_trace(saved)
+
+    def test_unparsable_json_rejected(self, saved):
+        saved.with_suffix(".json").write_text("{not json")
+        with pytest.raises(TraceError):
+            load_trace(saved)
+
+    def test_missing_metadata_key_rejected(self, saved):
+        payload = json.loads(saved.with_suffix(".json").read_text())
+        del payload["instructions_per_access"]
+        saved.with_suffix(".json").write_text(json.dumps(payload))
+        with pytest.raises(TraceError):
+            load_trace(saved)
+
+    def test_bad_ipa_rejected(self, saved):
+        payload = json.loads(saved.with_suffix(".json").read_text())
+        for bad in (0, -2.5, True, "fast"):
+            payload["instructions_per_access"] = bad
+            saved.with_suffix(".json").write_text(json.dumps(payload))
+            with pytest.raises(TraceError):
+                load_trace(saved)
+
+    def test_errors_stay_valueerrors(self, saved):
+        """Backward compatibility: TraceError subclasses ValueError."""
+        saved.with_suffix(".json").write_text("{not json")
+        with pytest.raises(ValueError):
+            load_trace(saved)
 
 
 class TestWorkloadExport:
