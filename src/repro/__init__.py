@@ -17,7 +17,10 @@ The library provides, as importable building blocks:
 * :mod:`repro.resilience` — fault injection, the runtime invariant
   auditor, and the checkpoint/resume sweep runner (see
   ``docs/robustness.md``), with the error taxonomy in
-  :mod:`repro.errors`.
+  :mod:`repro.errors`;
+* :mod:`repro.lint` — reprolint, the AST-based static-analysis pass
+  that enforces the same invariants at lint time (see
+  ``docs/static_analysis.md``).
 
 Quickstart::
 
@@ -56,7 +59,7 @@ from .core import (
     paging_policy_for,
 )
 from .energy import EnergyModel
-from .errors import InvariantViolation, ReproError
+from .errors import ConfigurationError, InvariantViolation, ReproError
 from .mem import (
     DemandPaging,
     EagerPaging,
@@ -110,6 +113,7 @@ __all__ = [
     "EnergyModel",
     # errors / resilience
     "ReproError",
+    "ConfigurationError",
     "InvariantViolation",
     "InvariantAuditor",
     "run_fault_campaign",

@@ -18,6 +18,11 @@ describe
 audit
     Simulate with the invariant auditor enabled and report the number of
     accounting checks passed (or the first violation).
+lint
+    Run the reprolint static-analysis pass (rules RL001–RL006) over the
+    package (or given paths).  ``--strict`` applies the
+    ``.reprolint-baseline.json`` ratchet and fails on new findings;
+    ``--update-baseline`` rewrites it.  See ``docs/static_analysis.md``.
 
 Unknown workload or configuration names exit with a did-you-mean message
 instead of a traceback; structured simulator errors print as
@@ -38,6 +43,7 @@ from .core.organizations import (
     paging_policy_for,
 )
 from .errors import InvariantViolation, ReproError, UnknownConfigError
+from .lint.cli import add_lint_arguments, run_lint
 from .mem.physical import PhysicalMemory
 from .mem.process import Process
 from .mmu.translation import PAGES_PER_2MB
@@ -236,6 +242,11 @@ def main(argv: list[str] | None = None) -> int:
     audit_parser.add_argument("--accesses", type=int, default=50_000)
     audit_parser.add_argument("--seed", type=int, default=42)
 
+    lint_parser = sub.add_parser(
+        "lint", help="static-analysis pass enforcing simulator invariants"
+    )
+    add_lint_arguments(lint_parser)
+
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
@@ -243,6 +254,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "describe": _cmd_describe,
         "audit": _cmd_audit,
+        "lint": run_lint,
     }
     try:
         return handlers[args.command](args)

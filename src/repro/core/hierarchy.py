@@ -26,6 +26,7 @@ with range hits taking precedence since both mappings are redundant.
 
 from __future__ import annotations
 
+from ..errors import ConfigurationError
 from ..mem.range_table import RangeTable
 from ..mmu.translation import PageSize, Translation
 from ..mmu.walker import PageWalker
@@ -34,9 +35,8 @@ from ..tlb.mixed_fa import MixedFullyAssociativeTLB
 from ..tlb.range_tlb import RangeTLB
 from ..tlb.set_assoc import SetAssociativeTLB
 
-
-class ConfigurationError(Exception):
-    """The hierarchy cannot serve the workload's page layout."""
+# ConfigurationError used to be defined here; it now lives in the
+# repro.errors taxonomy and is re-exported for its historical importers.
 
 
 class L1Slot:

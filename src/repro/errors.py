@@ -17,6 +17,9 @@ by *kind* instead of string-matching messages:
     Derives from :class:`KeyError` for backward compatibility.
 ``SimulationError``
     The simulator cannot run the given trace/configuration combination.
+``ConfigurationError``
+    A structure or hierarchy was constructed with invalid geometry
+    (non-power-of-two ways/banks, impossible hierarchy shapes).
 ``InvariantViolation``
     The runtime auditor found an accounting identity broken; carries a
     ``context`` dict with every number that went into the check.
@@ -55,6 +58,16 @@ class TraceIOError(TraceError, FileNotFoundError):
 
 class SimulationError(ReproError, ValueError):
     """The simulator cannot run this trace/configuration combination."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A hardware structure or hierarchy was built with invalid geometry.
+
+    Raised at construction time (bad way/bank/set counts, impossible
+    hierarchy shapes) so misconfigurations fail before any simulation
+    runs.  Double-derives from :class:`ValueError` because those sites
+    historically raised ``ValueError`` and tests/callers still catch it.
+    """
 
 
 class SweepError(ReproError):

@@ -1,0 +1,50 @@
+"""reprolint — AST-based static analysis enforcing simulator invariants.
+
+The runtime :class:`repro.resilience.auditor.InvariantAuditor` re-derives
+accounting identities *during* a run; this package catches the same class
+of bugs *before* any simulation runs by analysing the source.  The
+paper's headline numbers (TLB_Lite −23%, RMM_Lite −71% dynamic energy)
+are only reproducible if every run is deterministic and every
+energy/stat identity holds, so the contracts are pinned at lint time:
+
+=====  ==============================================================
+rule   contract
+=====  ==============================================================
+RL001  determinism — no unseeded or module-level RNG, no time-derived
+       seeds
+RL002  exception taxonomy — raises use the :mod:`repro.errors`
+       hierarchy, not raw built-ins
+RL003  hot-path purity — no allocation-heavy constructs, logging, or
+       broad exception handlers inside ``access``/``lookup``/``fill``
+       fast paths
+RL004  stats discipline — counter attributes of ``stats`` objects are
+       only mutated by their owning sync/reset methods
+RL005  power-of-two guards — way/bank/set counts are validated at
+       construction
+RL006  no mutable default arguments
+=====  ==============================================================
+
+Pre-existing findings live in ``.reprolint-baseline.json`` (ratchet:
+they may be fixed but not added to); individual lines opt out with a
+``# reprolint: disable=RL00x`` comment.  Run it with::
+
+    python -m repro lint [paths...] [--format=text|json] [--strict]
+                         [--update-baseline]
+"""
+
+from .baseline import Baseline
+from .engine import FileContext, LintRule, PassManager, lint_paths
+from .findings import Finding, Severity
+from .rules import ALL_RULES, default_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintRule",
+    "PassManager",
+    "Severity",
+    "default_rules",
+    "lint_paths",
+]

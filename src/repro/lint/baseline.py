@@ -1,0 +1,108 @@
+"""Ratchet baseline: pre-existing findings tolerated, new ones fatal.
+
+The baseline file (``.reprolint-baseline.json``) stores fingerprints —
+``(rule, path, message)`` with an occurrence count — not line numbers,
+so it survives unrelated edits to the same file.  ``--strict`` mode
+fails only on findings *not* covered by the baseline; fixing a baselined
+finding never breaks the build (the ratchet only tightens when
+``--update-baseline`` rewrites the file).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import replace
+from pathlib import Path
+
+from ..errors import ReproError
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ReproError, ValueError):
+    """The baseline file is unreadable or structurally invalid."""
+
+
+class Baseline:
+    """Fingerprint multiset of tolerated findings."""
+
+    def __init__(self, entries: Counter | None = None) -> None:
+        #: fingerprint -> number of tolerated occurrences
+        self.entries: Counter = Counter(entries or {})
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise BaselineError(f"cannot read baseline {path}: {error}") from error
+        if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has unsupported format "
+                f"(expected version {BASELINE_VERSION})"
+            )
+        entries: Counter = Counter()
+        for item in payload.get("entries", []):
+            try:
+                fingerprint = (item["rule"], item["path"], item["message"])
+                count = int(item.get("count", 1))
+            except (TypeError, KeyError) as error:
+                raise BaselineError(f"malformed baseline entry: {item!r}") from error
+            if count < 1:
+                raise BaselineError(f"baseline count must be >= 1: {item!r}")
+            entries[fingerprint] += count
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline sorted by (path, rule) for stable diffs."""
+        items = [
+            {"rule": rule, "path": rel, "message": message, "count": count}
+            for (rule, rel, message), count in sorted(self.entries.items())
+        ]
+        items.sort(key=lambda item: (item["path"], item["rule"], item["message"]))
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "reprolint ratchet: pre-existing findings tolerated by "
+                "--strict. Regenerate with `python -m repro lint "
+                "--update-baseline`; shrink it by fixing findings."
+            ),
+            "entries": items,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(Counter(finding.fingerprint() for finding in findings))
+
+    def partition(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into (new, baselined).
+
+        Occurrences of a fingerprint beyond its baselined count are new:
+        adding a second copy of an already-tolerated violation fails.
+        """
+        remaining = Counter(self.entries)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if remaining[fingerprint] > 0:
+                remaining[fingerprint] -= 1
+                baselined.append(replace(finding, baselined=True))
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

@@ -1,0 +1,157 @@
+"""The ``python -m repro lint`` subcommand.
+
+Exit codes: 0 — clean (or informational non-strict report), 1 — strict
+mode found findings not covered by the baseline or inline suppressions,
+2 — the lint run itself failed (bad paths, unreadable baseline).
+
+Modes
+-----
+default
+    Report *every* finding (baselined ones tagged) — the burn-down view.
+``--strict``
+    Apply the baseline; fail only on new findings.  This is what CI runs.
+``--update-baseline``
+    Rewrite the baseline from the current findings and exit 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import Baseline
+from .engine import PassManager
+from .rules import default_rules
+
+DEFAULT_BASELINE = ".reprolint-baseline.json"
+
+
+def default_lint_path() -> Path:
+    """The installed ``repro`` package directory (``src/repro`` in-repo)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to an (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on findings not covered by the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(DEFAULT_BASELINE),
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed arguments."""
+    rules = default_rules()
+    if args.rules:
+        wanted = {rule_id.strip().upper() for rule_id in args.rules.split(",")}
+        known = {rule.rule_id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"unknown rule ids: {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    paths = args.paths or [default_lint_path()]
+    manager = PassManager(rules)
+    findings = manager.lint_paths(paths, Path.cwd())
+
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(args.baseline)
+        print(
+            f"baseline updated: {len(findings)} finding(s) recorded in "
+            f"{args.baseline}"
+        )
+        return 0
+
+    baseline = Baseline.load(args.baseline)
+    new, baselined = baseline.partition(findings)
+
+    reportable = new + baselined if not args.strict else new
+    if args.format == "json":
+        payload = {
+            "findings": [finding.to_json() for finding in reportable],
+            "counts": _rule_counts(reportable),
+            "new": len(new),
+            "baselined": len(baselined),
+            "parse_failures": [
+                {"path": path, "error": error}
+                for path, error in manager.parse_failures
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in sorted(reportable, key=lambda f: (f.path, f.line, f.column)):
+            print(finding.render())
+        for path, error in manager.parse_failures:
+            print(f"{path}: parse failure: {error}", file=sys.stderr)
+        print(_summary_line(len(new), len(baselined), strict=args.strict))
+
+    if manager.parse_failures:
+        return 2
+    if args.strict and new:
+        return 1
+    return 0
+
+
+def _rule_counts(findings) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _summary_line(new: int, baselined: int, strict: bool) -> str:
+    if strict:
+        if new:
+            return f"reprolint: FAILED — {new} new finding(s) ({baselined} baselined)"
+        return f"reprolint: ok — no new findings ({baselined} baselined)"
+    total = new + baselined
+    return (
+        f"reprolint: {total} finding(s) — {new} new, {baselined} baselined"
+    )
+
+
+# Smoke: `python -m repro.lint.cli src/repro --strict`
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin shim
+    parser = argparse.ArgumentParser(prog="reprolint")
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,205 @@
+"""Pass manager: one ``ast.parse`` sweep per file, every rule per sweep.
+
+The framework mirrors classic compiler-pass collections (one cheap
+visitor per invariant, all driven off a shared parse) rather than a
+general dataflow engine — the contracts being enforced are syntactic
+enough that a single AST walk per rule is exact, fast, and easy to
+extend.
+
+``FileContext`` carries everything a rule may need: the parsed tree, the
+raw source lines (for suppression comments), the repo-relative path, and
+a parent map so visitors can ask "which function/class am I inside?"
+without threading state through every ``visit_*`` method.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..errors import ReproError
+from .findings import Finding, Severity, sort_findings
+
+#: ``# reprolint: disable=RL001,RL002`` or ``disable=all``.
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_*,\s]+)")
+
+
+class LintConfigError(ReproError, ValueError):
+    """The lint run itself is misconfigured (bad paths, bad rule set)."""
+
+
+class FileContext:
+    """Everything the rules need to know about one source file."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.suppressions = self._parse_suppressions()
+
+    # ------------------------------------------------------------------
+    def _parse_suppressions(self) -> dict[int, set[str]]:
+        """Map line number -> rule ids disabled there.
+
+        A suppression comment covers its own line; a *standalone* comment
+        line also covers the following line, so violations can be
+        annotated either inline or on the line above.
+        """
+        suppressed: dict[int, set[str]] = {}
+        for number, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            rules = {
+                token.strip().upper().replace("ALL", "*")
+                for token in match.group(1).split(",")
+                if token.strip()
+            }
+            suppressed.setdefault(number, set()).update(rules)
+            if text.lstrip().startswith("#"):
+                suppressed.setdefault(number + 1, set()).update(rules)
+        return suppressed
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        return bool(rules) and ("*" in rules or rule.upper() in rules)
+
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def enclosing(self, node: ast.AST, *kinds: type) -> ast.AST | None:
+        """Nearest ancestor of one of ``kinds`` (FunctionDef, ClassDef, ...)."""
+        current = self._parents.get(node)
+        while current is not None:
+            if isinstance(current, kinds):
+                return current
+            current = self._parents.get(current)
+        return None
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        return self.enclosing(node, ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def enclosing_class(self, node: ast.AST) -> ast.AST | None:
+        return self.enclosing(node, ast.ClassDef)
+
+    def qualified_context(self, node: ast.AST) -> str:
+        """Human-readable ``Class.method`` context for messages."""
+        parts: list[str] = []
+        current: ast.AST | None = node
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                parts.append(current.name)
+            current = self._parents.get(current)
+        return ".".join(reversed(parts)) or "<module>"
+
+
+class LintRule:
+    """Base class of every reprolint rule.
+
+    Subclasses set ``rule_id``/``title``/``severity``/``hint`` and
+    implement :meth:`check`, yielding one :class:`Finding` per violation
+    (use :meth:`finding` so paths/ids stay consistent).
+    """
+
+    rule_id = "RL000"
+    title = "untitled rule"
+    severity = Severity.WARNING
+    hint = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str, hint: str | None = None
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+class PassManager:
+    """Runs a rule set over files, applying inline suppressions."""
+
+    def __init__(self, rules: Iterable[LintRule]) -> None:
+        self.rules = list(rules)
+        seen: set[str] = set()
+        for rule in self.rules:
+            if rule.rule_id in seen:
+                raise LintConfigError(f"duplicate rule id {rule.rule_id}")
+            seen.add(rule.rule_id)
+        #: files the manager could not parse, as (relpath, error) pairs.
+        self.parse_failures: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    def lint_file(self, path: Path, root: Path) -> list[Finding]:
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        try:
+            with tokenize.open(path) as handle:  # honours PEP 263 encodings
+                source = handle.read()
+            ctx = FileContext(path, relpath, source)
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            self.parse_failures.append((relpath, f"{type(error).__name__}: {error}"))
+            return []
+        findings: list[Finding] = []
+        for rule in self.rules:
+            for finding in rule.check(ctx):
+                if not ctx.is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+        return findings
+
+    def lint_paths(self, paths: Iterable[Path], root: Path) -> list[Finding]:
+        findings: list[Finding] = []
+        for path in paths:
+            for file in iter_python_files(path):
+                findings.extend(self.lint_file(file, root))
+        return sort_findings(findings)
+
+
+def iter_python_files(path: Path) -> Iterator[Path]:
+    """Yield ``.py`` files under ``path`` (sorted, caches skipped)."""
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    if not path.exists():
+        raise LintConfigError(f"lint path does not exist: {path}")
+    for file in sorted(path.rglob("*.py")):
+        if "__pycache__" not in file.parts:
+            yield file
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    rules: Iterable[LintRule] | None = None,
+    root: Path | str | None = None,
+) -> list[Finding]:
+    """Convenience wrapper: lint ``paths`` with ``rules`` (default: all).
+
+    ``root`` anchors the repo-relative paths findings carry (and the
+    baseline matches on); it defaults to the current directory.
+    """
+    from .rules import default_rules  # late import: rules import this module
+
+    manager = PassManager(default_rules() if rules is None else rules)
+    return manager.lint_paths(
+        [Path(p) for p in paths], Path(root) if root is not None else Path.cwd()
+    )

@@ -1,0 +1,74 @@
+"""The unit of lint output: one :class:`Finding` per violated contract.
+
+Findings are deliberately line-number-*carrying* but line-number-
+*independent* in identity: the :meth:`Finding.fingerprint` used by the
+baseline is ``(rule, path, message)``, so unrelated edits that shift a
+file's lines do not invalidate a baselined finding, while changing the
+offending code (which changes the message's embedded context) does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering is by descending urgency."""
+
+    ERROR = 0  # breaks reproducibility or accounting identities
+    WARNING = 1  # weakens a contract; migrate when the code is touched
+
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``message`` should name the offending construct and its enclosing
+    function/class (not its line) so the fingerprint survives reflowing;
+    ``hint`` says how to fix it.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+    hint: str = ""
+    baselined: bool = field(default=False, compare=False)
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Identity for baseline matching (line numbers excluded)."""
+        return (self.rule, self.path, self.message)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def render(self) -> str:
+        """One text line: ``path:line:col: RL00x error: message [hint]``."""
+        tag = " (baselined)" if self.baselined else ""
+        text = f"{self.location()}: {self.rule} {self.severity.label()}{tag}: {self.message}"
+        if self.hint:
+            text += f"  [{self.hint}]"
+        return text
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label(),
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "hint": self.hint,
+            "baselined": self.baselined,
+        }
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable report order: by path, then line, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule))

@@ -9,6 +9,8 @@ range tables.
 
 from __future__ import annotations
 
+import random
+
 from ..mmu.page_table import PageTable
 from ..mmu.translation import PageSize, Translation
 from .paging import DemandPaging, PagingPolicy
@@ -24,12 +26,15 @@ class Process:
         self,
         physical: PhysicalMemory | None = None,
         policy: PagingPolicy | None = None,
+        seed: int = 0,
     ) -> None:
         self.physical = physical if physical is not None else PhysicalMemory()
         self.policy = policy if policy is not None else DemandPaging()
         self.address_space = AddressSpace()
         self.page_table = PageTable()
         self.range_table = RangeTable()
+        self.seed = seed
+        self._rng = random.Random(seed)
 
     # ------------------------------------------------------------------
     # Region management
@@ -112,10 +117,14 @@ class Process:
             )
         return leaf
 
-    def break_huge_pages(self, fraction: float, seed: int = 0) -> int:
-        """Demote a random fraction of all 2 MB pages; returns the count."""
-        import random
+    def break_huge_pages(self, fraction: float, seed: int | None = None) -> int:
+        """Demote a random fraction of all 2 MB pages; returns the count.
 
+        Victim selection draws from the process's own seeded RNG (set at
+        construction) so repeated runs with the same ``Process`` seed are
+        deterministic; an explicit ``seed`` pins the draw independently of
+        how many random decisions the process made before this call.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
         huge = [
@@ -123,7 +132,7 @@ class Process:
             for leaf in self.page_table.iter_translations()
             if leaf.page_size is PageSize.SIZE_2MB
         ]
-        rng = random.Random(seed)
+        rng = self._rng if seed is None else random.Random(seed)
         victims = rng.sample(huge, round(len(huge) * fraction))
         for vpn in victims:
             self.break_huge_page(vpn)

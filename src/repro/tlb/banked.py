@@ -13,6 +13,7 @@ next bank (the usual design point).
 
 from __future__ import annotations
 
+from ..errors import ConfigurationError
 from .base import TranslationStructure
 from .set_assoc import SetAssociativeTLB, _is_power_of_two
 
@@ -23,9 +24,11 @@ class BankedSetAssociativeTLB(TranslationStructure):
     def __init__(self, name: str, entries: int, ways: int, banks: int) -> None:
         super().__init__(name)
         if not _is_power_of_two(banks):
-            raise ValueError(f"bank count {banks} must be a power of two")
+            raise ConfigurationError(f"bank count {banks} must be a power of two")
+        if not _is_power_of_two(ways):
+            raise ConfigurationError(f"associativity {ways} must be a power of two")
         if entries % banks != 0:
-            raise ValueError(f"{entries} entries not divisible by {banks} banks")
+            raise ConfigurationError(f"{entries} entries not divisible by {banks} banks")
         self.entries = entries
         self.ways = ways
         self.banks = [
@@ -34,7 +37,7 @@ class BankedSetAssociativeTLB(TranslationStructure):
         ]
         per_bank_sets = (entries // banks) // ways
         if per_bank_sets < 1:
-            raise ValueError("banks smaller than one set")
+            raise ConfigurationError("banks smaller than one set")
         self._set_shift = per_bank_sets.bit_length() - 1
         self._bank_mask = banks - 1
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..errors import ConfigurationError
 from ..mmu.translation import Translation
 from .base import TranslationStructure
 
@@ -27,7 +28,7 @@ class MixedFullyAssociativeTLB(TranslationStructure):
     def __init__(self, name: str, entries: int) -> None:
         super().__init__(name)
         if entries < 1:
-            raise ValueError("entries must be >= 1")
+            raise ConfigurationError("entries must be >= 1")
         self.entries = entries
         self.active_entries = entries
         self._stack: list[Translation] = []  # MRU first
@@ -63,7 +64,9 @@ class MixedFullyAssociativeTLB(TranslationStructure):
         """Insert at MRU; an entry covering the same region is replaced."""
         self._pending_fills += 1
         stack = self._stack
-        stack[:] = [
+        # Fills run per L1 miss, not per access; the overlap filter is a
+        # miss-path cost the paper's CAM also pays on writes.
+        stack[:] = [  # reprolint: disable=RL003
             entry
             for entry in stack
             if not (
@@ -108,7 +111,7 @@ class MixedFullyAssociativeTLB(TranslationStructure):
     def set_active_entries(self, entries: int) -> None:
         """Lite-style power-of-two capacity reduction (Section 4.4)."""
         if entries < 1 or entries > self.entries:
-            raise ValueError(f"active entries {entries} outside [1, {self.entries}]")
+            raise ConfigurationError(f"active entries {entries} outside [1, {self.entries}]")
         self.sync_stats()
         if entries < self.active_entries:
             del self._stack[entries:]

@@ -75,7 +75,9 @@ class RangeTLB(TranslationStructure):
         """
         self._pending_fills += 1
         stack = self._stack
-        stack[:] = [r for r in stack if not r.overlaps(rng)]
+        # Fills run per range-TLB miss, not per access; overlap eviction
+        # is a miss-path cost.
+        stack[:] = [r for r in stack if not r.overlaps(rng)]  # reprolint: disable=RL003
         stack.insert(0, rng)
         if len(stack) > self.active_entries:
             stack.pop()

@@ -15,6 +15,7 @@ from the touched way.
 
 from __future__ import annotations
 
+from ..errors import ConfigurationError
 from .base import TranslationStructure
 from .set_assoc import _is_power_of_two
 
@@ -30,14 +31,14 @@ class PLRUSetAssociativeTLB(TranslationStructure):
     def __init__(self, name: str, entries: int, ways: int) -> None:
         super().__init__(name)
         if entries % ways != 0:
-            raise ValueError(f"{entries} entries not divisible by {ways} ways")
+            raise ConfigurationError(f"{entries} entries not divisible by {ways} ways")
         if not _is_power_of_two(ways):
-            raise ValueError(f"associativity {ways} must be a power of two")
+            raise ConfigurationError(f"associativity {ways} must be a power of two")
         self.entries = entries
         self.ways = ways
         self.num_sets = entries // ways
         if not _is_power_of_two(self.num_sets):
-            raise ValueError(f"set count {self.num_sets} must be a power of two")
+            raise ConfigurationError(f"set count {self.num_sets} must be a power of two")
         self._set_mask = self.num_sets - 1
         self.active_ways = ways
         # Per set: fixed way slots (None = invalid) and PLRU tree bits.
@@ -173,7 +174,7 @@ class PLRUSetAssociativeTLB(TranslationStructure):
     def set_active_ways(self, ways: int) -> None:
         """Way-disabling: restrict lookups/fills to the first ``ways`` slots."""
         if not _is_power_of_two(ways) or ways > self.ways:
-            raise ValueError(f"active ways {ways} must be a power of two <= {self.ways}")
+            raise ConfigurationError(f"active ways {ways} must be a power of two <= {self.ways}")
         self.sync_stats()
         if ways < self.active_ways:
             for slots in self._slots:

@@ -1,0 +1,39 @@
+"""Fixture: RL001 determinism violations (do not import; parsed by reprolint)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def unseeded_module_rng():
+    return random.random() + random.randint(0, 10)  # 2 findings
+
+
+def unseeded_constructor():
+    rng = random.Random()  # finding: unseeded
+    return rng
+
+
+def time_seeded():
+    rng = random.Random(int(time.time()))  # finding: time-derived seed
+    return rng
+
+
+def numpy_legacy():
+    np.random.seed(0)  # finding: global numpy state
+    return np.random.rand(4)  # finding: global numpy state
+
+
+def numpy_unseeded():
+    return np.random.default_rng()  # finding: unseeded generator
+
+
+def seed_from_clock():
+    seed = time.time_ns()  # finding: wall-clock seed material
+    return seed
+
+
+def fine(seed: int):
+    # the blessed idiom: explicit seed threaded from the caller
+    return random.Random(seed), np.random.default_rng(seed)

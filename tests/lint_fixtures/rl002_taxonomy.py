@@ -1,0 +1,24 @@
+"""Fixture: RL002 exception-taxonomy violations."""
+
+
+def raw_value_error(x):
+    if x < 0:
+        raise ValueError("negative")  # finding
+
+
+def raw_key_error(mapping, key):
+    if key not in mapping:
+        raise KeyError(key)  # finding
+    return mapping[key]
+
+
+def raw_runtime_error():
+    raise RuntimeError("boom")  # finding
+
+
+def uninstantiated():
+    raise ValueError  # finding: raised class, not instance
+
+
+def fine():
+    raise NotImplementedError  # abstract-method idiom stays legal

@@ -1,0 +1,30 @@
+"""Fixture: RL003 hot-path purity violations."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+class BadTLB:
+    def __init__(self):
+        self.entries = {}
+
+    def lookup(self, key):
+        try:
+            values = [v for v in self.entries.values()]  # finding: ListComp
+            return sorted(values)  # finding: allocation-heavy call
+        except Exception:  # finding: broad handler
+            logging.warning("lookup failed")  # finding: logging
+            return None
+
+    def fill(self, key, value):
+        print("filling", key)  # finding: printing
+        self.entries[key] = value
+
+    def access(self, key):
+        data = {k: v for k, v in self.entries.items()}  # finding: DictComp
+        return data.get(key)
+
+    def cold_report(self):
+        # not a hot-path method name: comprehensions are fine here
+        return [k for k in self.entries]

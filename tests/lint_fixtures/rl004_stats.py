@@ -1,0 +1,28 @@
+"""Fixture: RL004 stats-discipline violations."""
+
+
+class Stats:
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self):
+        self.hits = 0
+        self.misses = 0
+
+
+class BadStructure:
+    def __init__(self):
+        self.stats = Stats()  # fine: binding the object, not a counter
+        self._pending = 0
+
+    def lookup(self, key):
+        self.stats.hits += 1  # finding: counter bumped outside sync
+        return key
+
+    def record_elsewhere(self, other):
+        other.stats.misses = 5  # finding: foreign stats write
+
+    def sync_stats(self):
+        self.stats.hits += self._pending  # fine: the owning sync method
+        self._pending = 0

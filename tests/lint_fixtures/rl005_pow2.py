@@ -1,0 +1,23 @@
+"""Fixture: RL005 power-of-two guard violations."""
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class UnguardedTLB:
+    def __init__(self, entries: int, ways: int, banks: int):
+        # findings: neither ways nor banks is ever validated
+        self.entries = entries
+        self.ways = ways
+        self.banks = banks
+
+
+class GuardedTLB:
+    def __init__(self, entries: int, ways: int, banks: int):
+        if not _is_power_of_two(ways):
+            raise AssertionError("ways")
+        assert _is_power_of_two(banks)
+        self.entries = entries
+        self.ways = ways
+        self.banks = banks

@@ -1,0 +1,17 @@
+"""Fixture: RL006 mutable-default-argument violations."""
+
+
+def bad_list(values=[]):  # finding
+    return values
+
+
+def bad_dict(mapping={}):  # finding
+    return mapping
+
+
+def bad_call(entries=list()):  # finding
+    return entries
+
+
+def fine(values=None, flag=True, count=0, name="x"):
+    return values if values is not None else []
