@@ -11,8 +11,17 @@ run
 sweep
     Run a workload across all paper configurations, normalised to 4KB —
     a one-workload slice of Figure 10.  Supports ``--journal``/``--resume``
-    (checkpointed, resumable execution), ``--audit`` (runtime invariant
-    checking), ``--retries`` and ``--cell-timeout`` (per-cell isolation).
+    (checkpointed, resumable execution), ``--checkpoint-every N`` (mid-cell
+    snapshots, so ``--resume`` restarts inside an interrupted cell), ``--audit``
+    (runtime invariant checking), ``--retries`` and ``--cell-timeout``
+    (per-cell isolation).
+bisect-divergence
+    Run one (workload, configuration) cell twice — fresh vs.
+    resumed-from-checkpoint by default, or against a second seed
+    (``--seed-b``) or a perturbed trace (``--fault``) — and binary-search
+    the per-interval golden state digests for the first boundary and
+    component where the two runs diverge.  Exit 0 when identical, 1 on
+    divergence (the determinism CI gate).
 describe
     Print a configuration's structure inventory (Figure 9 style).
 audit
@@ -33,6 +42,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
+from pathlib import Path
 
 from .analysis.experiments import ExperimentSettings, run_workload_config
 from .analysis.report import render_table
@@ -48,6 +59,13 @@ from .mem.physical import PhysicalMemory
 from .mem.process import Process
 from .mmu.translation import PAGES_PER_2MB
 from .resilience.auditor import InvariantAuditor
+from .resilience.bisect import (
+    bisect_divergence,
+    describe_divergence,
+    record_digest_trail,
+    record_resumed_trail,
+)
+from .resilience.faults import TRACE_FAULTS
 from .resilience.sweep import run_resilient_sweep
 from .workloads.registry import all_workloads, get_workload
 
@@ -122,6 +140,7 @@ def _cmd_sweep(args) -> int:
         retries=args.retries,
         cell_timeout_s=args.cell_timeout,
         audit=args.audit,
+        checkpoint_every=args.checkpoint_every,
     )
     baseline_cell = report.cell(workload.name, CONFIG_NAMES[0])
     baseline = baseline_cell.row if baseline_cell and baseline_cell.completed else None
@@ -154,6 +173,53 @@ def _cmd_sweep(args) -> int:
             print(f"  {cell.configuration}: {cell.error}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_bisect(args) -> int:
+    workload = get_workload(args.workload)
+    settings = ExperimentSettings(trace_accesses=args.accesses, seed=args.seed)
+    reference = record_digest_trail(
+        workload, args.config, settings, digest_every=args.digest_every
+    )
+    if args.fault is not None:
+        comparison = "clean trace vs fault-injected trace " f"({args.fault})"
+        other = record_digest_trail(
+            workload,
+            args.config,
+            settings,
+            digest_every=args.digest_every,
+            trace_fault=args.fault,
+            fault_seed=args.fault_seed,
+        )
+    elif args.seed_b is not None:
+        comparison = f"seed {args.seed} vs seed {args.seed_b}"
+        settings_b = ExperimentSettings(
+            trace_accesses=args.accesses, seed=args.seed_b
+        )
+        other = record_digest_trail(
+            workload, args.config, settings_b, digest_every=args.digest_every
+        )
+    else:
+        comparison = (
+            f"fresh run vs run killed after {args.abort_after} boundaries "
+            "and resumed from its snapshot"
+        )
+        with tempfile.TemporaryDirectory(prefix="repro-bisect-") as tmp:
+            other = record_resumed_trail(
+                workload,
+                args.config,
+                settings,
+                digest_every=args.digest_every,
+                abort_after=args.abort_after,
+                snapshot_path=Path(tmp) / "cell.ckpt",
+            )
+    divergence = bisect_divergence(reference.trail, other.trail)
+    print(
+        f"{workload.name} / {args.config}: {comparison} — "
+        f"{len(reference.trail.boundaries)} digested boundaries"
+    )
+    print(describe_divergence(divergence))
+    return 0 if divergence is None else 1
 
 
 def _cmd_describe(args) -> int:
@@ -228,6 +294,55 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="wall-clock seconds allowed per cell",
     )
+    sweep_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshot the in-flight cell every N interval boundaries "
+        "(with --resume, restarts the interrupted cell mid-trace; "
+        "requires --journal)",
+    )
+
+    bisect_parser = sub.add_parser(
+        "bisect-divergence",
+        help="find the first interval and component where two runs diverge",
+    )
+    bisect_parser.add_argument("workload")
+    bisect_parser.add_argument("--config", type=_config_name, default="TLB_Lite")
+    bisect_parser.add_argument("--accesses", type=int, default=50_000)
+    bisect_parser.add_argument("--seed", type=int, default=42)
+    bisect_parser.add_argument(
+        "--digest-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="record state digests every N interval boundaries",
+    )
+    bisect_mode = bisect_parser.add_mutually_exclusive_group()
+    bisect_mode.add_argument(
+        "--seed-b",
+        type=int,
+        default=None,
+        help="compare against a second run with this trace seed",
+    )
+    bisect_mode.add_argument(
+        "--fault",
+        choices=sorted(TRACE_FAULTS),
+        default=None,
+        help="compare against a run on a perturbed trace",
+    )
+    bisect_parser.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for --fault injection"
+    )
+    bisect_parser.add_argument(
+        "--abort-after",
+        type=int,
+        default=5,
+        metavar="K",
+        help="default mode: kill the second run after K boundaries, then "
+        "resume it from the snapshot (determinism check)",
+    )
 
     describe_parser = sub.add_parser("describe", help="show a configuration")
     describe_parser.add_argument("config", type=_config_name)
@@ -252,6 +367,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "bisect-divergence": _cmd_bisect,
         "describe": _cmd_describe,
         "audit": _cmd_audit,
         "lint": run_lint,

@@ -87,9 +87,20 @@ class PreparedRun:
     trace: object
     simulator: Simulator
 
-    def run(self, events=None) -> SimulationResult:
-        """Feed the (possibly perturbed) trace through the simulator."""
-        return self.simulator.run(self.trace, events=events)
+    def run(self, events=None, checkpoint_hook=None, resume_state=None) -> SimulationResult:
+        """Feed the (possibly perturbed) trace through the simulator.
+
+        ``checkpoint_hook``/``resume_state`` pass through to
+        :meth:`repro.core.simulator.Simulator.run`; see
+        :mod:`repro.resilience.checkpoint` for the snapshot machinery
+        built on them.
+        """
+        return self.simulator.run(
+            self.trace,
+            events=events,
+            checkpoint_hook=checkpoint_hook,
+            resume_state=resume_state,
+        )
 
 
 def prepare_run(

@@ -9,11 +9,14 @@ scalars; the writers serialise collections of them.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import Iterable
 
 from ..core.stats import SimulationResult
+from ..errors import ExportError
+from ..ioutils import atomic_write_text
 
 
 def flatten_result(result: SimulationResult) -> dict:
@@ -54,11 +57,14 @@ def results_to_records(results) -> list[dict]:
 
 
 def write_csv(path, results) -> Path:
-    """Write flattened results as CSV (union of columns, sorted header)."""
+    """Write flattened results as CSV (union of columns, insertion order).
+
+    Rendered in memory, then atomically replaced on disk — a crash during
+    export never leaves a half-written file behind.
+    """
     records = results_to_records(results)
     if not records:
-        raise ValueError("no results to export")
-    path = Path(path)
+        raise ExportError("no results to export")
     columns: list[str] = []
     seen = set()
     for record in records:
@@ -66,22 +72,20 @@ def write_csv(path, results) -> Path:
             if key not in seen:
                 seen.add(key)
                 columns.append(key)
-    with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
-        writer.writeheader()
-        for record in records:
-            writer.writerow(record)
-    return path
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="", lineterminator="\n")
+    writer.writeheader()
+    for record in records:
+        writer.writerow(record)
+    return atomic_write_text(path, buffer.getvalue())
 
 
 def write_json(path, results) -> Path:
-    """Write flattened results as a JSON array."""
+    """Write flattened results as a JSON array (atomic replace)."""
     records = results_to_records(results)
     if not records:
-        raise ValueError("no results to export")
-    path = Path(path)
-    path.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
-    return path
+        raise ExportError("no results to export")
+    return atomic_write_text(path, json.dumps(records, indent=2, sort_keys=True) + "\n")
 
 
 def _slug(name: str) -> str:

@@ -18,10 +18,13 @@ inline; this class wraps the list with the decision-side arithmetic.
 
 from __future__ import annotations
 
+from ..errors import ConfigurationError
+from ..stateful import require
+
 
 def _log2_exact(n: int) -> int:
     if n <= 0 or n & (n - 1):
-        raise ValueError(f"{n} is not a positive power of two")
+        raise ConfigurationError(f"{n} is not a positive power of two")
     return n.bit_length() - 1
 
 
@@ -35,7 +38,7 @@ class LRUDistanceCounters:
     def record(self, rank: int) -> None:
         """Count one hit at an LRU stack position (tests/manual feeding)."""
         if not 0 <= rank < self.max_ways:
-            raise ValueError(f"rank {rank} outside [0, {self.max_ways})")
+            raise ConfigurationError(f"rank {rank} outside [0, {self.max_ways})")
         self.raw[rank.bit_length()] += 1
 
     def extra_misses(self, ways: int) -> int:
@@ -56,6 +59,23 @@ class LRUDistanceCounters:
         """Zero the counters (start of a new interval)."""
         for index in range(len(self.raw)):
             self.raw[index] = 0
+
+    def state_dict(self) -> list[int]:
+        """Pure-JSON counter values (checkpoint protocol)."""
+        return list(self.raw)
+
+    def load_state_dict(self, state: list[int]) -> None:
+        """Restore counters **in place**.
+
+        The TLB's ``hit_rank_counters`` attribute aliases :attr:`raw`
+        (same list object), so restoration must mutate the existing list
+        rather than rebind it.
+        """
+        require(
+            len(state) == len(self.raw),
+            f"counter snapshot has {len(state)} groups, expected {len(self.raw)}",
+        )
+        self.raw[:] = state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LRUDistanceCounters({self.raw})"

@@ -27,6 +27,7 @@ with range hits taking precedence since both mappings are redundant.
 from __future__ import annotations
 
 from ..errors import ConfigurationError
+from ..stateful import require
 from ..mem.range_table import RangeTable
 from ..mmu.translation import PageSize, Translation
 from ..mmu.walker import PageWalker
@@ -101,6 +102,46 @@ class BaseHierarchy:
         keeps them in place) and need no invalidation.
         """
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Pure-JSON hierarchy state; subclasses extend the dict.
+
+        Structures are keyed by name (names are unique within one
+        hierarchy), so per-component digests of a snapshot identify the
+        diverging structure directly.  Taking a snapshot never mutates
+        state (pending hot-path counts are serialized as-is, not synced),
+        so checkpointing cannot perturb the run being checkpointed.
+        """
+        return {
+            "accesses": self.accesses,
+            "l1_misses": self.l1_misses,
+            "l2_misses": self.l2_misses,
+            "range_walk_refs": self.range_walk_refs,
+            "walker": self.walker.state_dict(),
+            "structures": {
+                structure.name: structure.state_dict()
+                for structure in self.all_structures()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore onto a canonically rebuilt hierarchy."""
+        structures = {s.name: s for s in self.all_structures()}
+        require(
+            sorted(state["structures"]) == sorted(structures),
+            "hierarchy snapshot holds different structures: "
+            f"{sorted(state['structures'])} vs {sorted(structures)}",
+        )
+        self.accesses = state["accesses"]
+        self.l1_misses = state["l1_misses"]
+        self.l2_misses = state["l2_misses"]
+        self.range_walk_refs = state["range_walk_refs"]
+        self.walker.load_state_dict(state["walker"])
+        for name, structure_state in state["structures"].items():
+            structures[name].load_state_dict(structure_state)
 
 
 class TLBHierarchy(BaseHierarchy):
@@ -245,6 +286,35 @@ class TLBHierarchy(BaseHierarchy):
         if slot is not None:
             slot.tlb.invalidate(base_vpn >> 9)
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        # Slot enablement order matters: _active_slots is probed in append
+        # order and the *last* hit wins attribution, so the order is part
+        # of the state, not just the membership.
+        state["enabled_sizes"] = [int(slot.page_size) for slot in self._active_slots]
+        state["attributed_hits"] = {
+            str(int(slot.page_size)): slot.attributed_hits for slot in self.l1_slots
+        }
+        state["l1_range_active"] = self._l1_range_active is not None
+        state["l2_range_active"] = self._l2_range_active is not None
+        state["range_attributed_hits"] = self.range_attributed_hits
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        enabled = [PageSize(size) for size in state["enabled_sizes"]]
+        require(
+            all(size in self._slot_by_size for size in enabled),
+            "snapshot enables an L1 slot this hierarchy does not have",
+        )
+        for slot in self.l1_slots:
+            slot.enabled = slot.page_size in enabled
+            slot.attributed_hits = state["attributed_hits"][str(int(slot.page_size))]
+        self._active_slots = [self._slot_by_size[size] for size in enabled]
+        self._l1_range_active = self.l1_range if state["l1_range_active"] else None
+        self._l2_range_active = self.l2_range if state["l2_range_active"] else None
+        self.range_attributed_hits = state["range_attributed_hits"]
+
 
 class L0FilterHierarchy(TLBHierarchy):
     """Related-work baseline (paper §7): a tiny L0 TLB filtering L1 probes.
@@ -299,6 +369,15 @@ class L0FilterHierarchy(TLBHierarchy):
         super().shootdown_huge_page(base_vpn)
         while self.l0.invalidate_covering(base_vpn):
             pass
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["l0_attributed_hits"] = self.l0_attributed_hits
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.l0_attributed_hits = state["l0_attributed_hits"]
 
 
 class MixedTLBHierarchy(BaseHierarchy):
@@ -428,6 +507,25 @@ class MixedTLBHierarchy(BaseHierarchy):
         # 4 KB-mapped.
         self._huge_chunks.discard(chunk)
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["huge_chunks"] = sorted(self._huge_chunks)
+        state["attributed_hits_4kb"] = self.attributed_hits_4kb
+        state["attributed_hits_2mb"] = self.attributed_hits_2mb
+        state["l1_range_active"] = self._l1_range_active is not None
+        state["l2_range_active"] = self._l2_range_active is not None
+        state["range_attributed_hits"] = self.range_attributed_hits
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._huge_chunks = set(state["huge_chunks"])
+        self.attributed_hits_4kb = state["attributed_hits_4kb"]
+        self.attributed_hits_2mb = state["attributed_hits_2mb"]
+        self._l1_range_active = self.l1_range if state["l1_range_active"] else None
+        self._l2_range_active = self.l2_range if state["l2_range_active"] else None
+        self.range_attributed_hits = state["range_attributed_hits"]
+
 
 class PredictedMixedHierarchy(MixedTLBHierarchy):
     """Realistic TLB_Pred: a *fallible* page-size predictor.
@@ -501,6 +599,22 @@ class PredictedMixedHierarchy(MixedTLBHierarchy):
         super().reset_measurement()
         self.mispredictions = 0
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["predictor"] = list(self._predictor)
+        state["mispredictions"] = self.mispredictions
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        require(
+            len(state["predictor"]) == len(self._predictor),
+            f"predictor snapshot has {len(state['predictor'])} entries, "
+            f"expected {len(self._predictor)}",
+        )
+        self._predictor = list(state["predictor"])
+        self.mispredictions = state["mispredictions"]
+
 
 class FullyAssociativeL1Hierarchy(BaseHierarchy):
     """SPARC/AMD-style organization: one fully-associative mixed L1 TLB.
@@ -554,3 +668,12 @@ class FullyAssociativeL1Hierarchy(BaseHierarchy):
         entry = self.l1_fa.peek(base_vpn)
         if entry is not None and entry.page_size is PageSize.SIZE_2MB:
             self.l1_fa.invalidate_covering(base_vpn)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["attributed_hits"] = self.attributed_hits
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.attributed_hits = state["attributed_hits"]

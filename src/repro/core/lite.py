@@ -27,6 +27,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..errors import ConfigurationError, SimulationError
+from ..stateful import require, rng_state_from_json, rng_state_to_json
 from .counters import LRUDistanceCounters
 from .params import LiteParams
 
@@ -52,7 +54,7 @@ class ResizableUnit:
         else:
             raise TypeError(f"{tlb!r} is not resizable")
         if self.max_units & (self.max_units - 1):
-            raise ValueError(
+            raise ConfigurationError(
                 f"{tlb.name}: capacity {self.max_units} not a power of two"
             )
 
@@ -88,6 +90,22 @@ class LiteStats:
     random_reactivations: int = 0
     degradation_reactivations: int = 0
 
+    def state_dict(self) -> dict:
+        """Pure-JSON counters (checkpoint protocol)."""
+        return {
+            "intervals": self.intervals,
+            "downsizes": self.downsizes,
+            "random_reactivations": self.random_reactivations,
+            "degradation_reactivations": self.degradation_reactivations,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore counters from :meth:`state_dict` output."""
+        self.intervals = state["intervals"]
+        self.downsizes = state["downsizes"]
+        self.random_reactivations = state["random_reactivations"]
+        self.degradation_reactivations = state["degradation_reactivations"]
+
 
 class LiteController:
     """Drives Lite over a set of monitored L1-page TLBs.
@@ -115,7 +133,7 @@ class LiteController:
     def end_interval(self, l1_misses: int, instructions: int) -> str:
         """Run the decision algorithm; returns the action taken."""
         if instructions <= 0:
-            raise ValueError("interval must cover at least one instruction")
+            raise SimulationError("interval must cover at least one instruction")
         self._instructions_seen += instructions
         actual_mpki = l1_misses * 1000.0 / instructions
         params = self.params
@@ -180,3 +198,63 @@ class LiteController:
     def active_configuration(self) -> dict[str, int]:
         """Current active units per monitored TLB."""
         return {unit.name: unit.active_units for unit in self.units}
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Pure-JSON controller state.
+
+        Active unit counts are *not* serialized here: they live in the
+        monitored TLBs' own state dicts (restoring a TLB restores its
+        ``active_ways``/``active_entries``), so the controller only owns
+        the decision-side state — RNG stream, MPKI memory, distance
+        counters, aggregate stats, and the optional history.
+        """
+        return {
+            "rng": rng_state_to_json(self._rng.getstate()),
+            "previous_mpki": self.previous_mpki,
+            "instructions_seen": self._instructions_seen,
+            "stats": self.stats.state_dict(),
+            "counters": {
+                name: counters.state_dict()
+                for name, counters in sorted(self.counters.items())
+            },
+            "history": None
+            if self.history is None
+            else [
+                {
+                    "instructions_seen": record.instructions_seen,
+                    "actual_mpki": record.actual_mpki,
+                    "action": record.action,
+                    "active_units": dict(sorted(record.active_units.items())),
+                }
+                for record in self.history
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore controller state onto a canonically built controller."""
+        require(
+            sorted(state["counters"]) == sorted(self.counters),
+            "Lite snapshot monitors different TLBs than this controller: "
+            f"{sorted(state['counters'])} vs {sorted(self.counters)}",
+        )
+        self._rng.setstate(rng_state_from_json(state["rng"]))
+        self.previous_mpki = state["previous_mpki"]
+        self._instructions_seen = state["instructions_seen"]
+        self.stats.load_state_dict(state["stats"])
+        for name, values in state["counters"].items():
+            self.counters[name].load_state_dict(values)
+        if state["history"] is None:
+            self.history = None
+        else:
+            self.history = [
+                LiteIntervalRecord(
+                    instructions_seen=record["instructions_seen"],
+                    actual_mpki=record["actual_mpki"],
+                    action=record["action"],
+                    active_units=dict(record["active_units"]),
+                )
+                for record in state["history"]
+            ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from ..energy.model import EnergyModel
 from ..energy.performance import miss_cycles
-from ..errors import SimulationError
+from ..errors import CheckpointError, SimulationError
 from ..mmu.page_table import PageFault
 from .hierarchy import ConfigurationError
 from .organizations import Organization
@@ -84,6 +84,8 @@ class Simulator:
         trace,
         fast_forward_accesses: int | None = None,
         events: list[tuple[int, object]] | None = None,
+        checkpoint_hook=None,
+        resume_state: dict | None = None,
     ) -> SimulationResult:
         """Simulate a trace; returns measurements for the post-warmup part.
 
@@ -96,6 +98,20 @@ class Simulator:
         reaches that trace position (e.g. huge-page breakdown under
         memory pressure, or a context-switch TLB flush).  The callable
         receives the organization.
+
+        ``checkpoint_hook``, when given, is called at every *boundary* —
+        each point where the drain loop stops (Lite interval end,
+        timeline sample, event position, phase edge) — with a pure-JSON
+        dict of the loop's own state (position, schedules, accumulated
+        timeline/fault records).  :mod:`repro.resilience.checkpoint`
+        builds snapshot writers and digest recorders on top of it.
+
+        ``resume_state`` is such a dict: the loop fast-forwards its
+        bookkeeping to the recorded position and continues from there.
+        The *component* state (hierarchy, Lite, process) must already
+        have been restored by the caller — the loop state only carries
+        what the loop itself owns.  Events already fired before the
+        snapshot are not re-fired.
         """
         vpns = trace.tolist() if hasattr(trace, "tolist") else list(trace)
         total = len(vpns)
@@ -134,10 +150,79 @@ class Simulator:
                 return max(pending_events[event_index][0], 1)
             return total + 1
 
-        # ----- hot loop: plain in strict mode, per-access in tolerant ---
-        tolerant = self.on_fault == "record"
+        measured = total - fast_forward_accesses
+        window = max(1, measured // self.sim_params.timeline_windows)
+        window_instructions = max(1, round(window * ipa))
+
+        # ----- loop state (everything the loop itself owns) -------------
+        phase = "fast-forward"
+        pos = 0
+        boundary = 0
+        next_interval = interval_accesses if lite else total + 1
+        last_interval_misses = 0
+        next_sample = -1
+        last_sample_misses = 0
+        lite_intervals_before = lite.stats.intervals if lite else 0
         faults: list[FaultRecord] = []
         faulted = 0
+        timeline: list[TimelineSample] = []
+
+        if resume_state is not None:
+            if (
+                resume_state["total"] != total
+                or resume_state["fast_forward_accesses"] != fast_forward_accesses
+            ):
+                raise CheckpointError(
+                    "resume state was taken on a different trace: "
+                    f"total/ff {resume_state['total']}/"
+                    f"{resume_state['fast_forward_accesses']} vs "
+                    f"{total}/{fast_forward_accesses}"
+                )
+            phase = resume_state["phase"]
+            pos = resume_state["pos"]
+            boundary = resume_state["boundary"]
+            event_index = resume_state["event_index"]
+            next_interval = resume_state["next_interval"]
+            last_interval_misses = resume_state["last_interval_misses"]
+            next_sample = resume_state["next_sample"]
+            last_sample_misses = resume_state["last_sample_misses"]
+            lite_intervals_before = resume_state["lite_intervals_before"]
+            faulted = resume_state["faulted"]
+            faults = [
+                FaultRecord(index, vpn, error, message)
+                for index, vpn, error, message in resume_state["faults"]
+            ]
+            timeline = [
+                TimelineSample(instructions, l1_mpki, active_ways)
+                for instructions, l1_mpki, active_ways in resume_state["timeline"]
+            ]
+
+        def loop_state(phase_name: str) -> dict:
+            return {
+                "phase": phase_name,
+                "pos": pos,
+                "total": total,
+                "fast_forward_accesses": fast_forward_accesses,
+                "boundary": boundary,
+                "event_index": event_index,
+                "next_interval": next_interval,
+                "last_interval_misses": last_interval_misses,
+                "next_sample": next_sample,
+                "last_sample_misses": last_sample_misses,
+                "lite_intervals_before": lite_intervals_before,
+                "faulted": faulted,
+                "faults": [
+                    [record.index, record.vpn, record.error, record.message]
+                    for record in faults
+                ],
+                "timeline": [
+                    [sample.instructions, sample.l1_mpki, sample.active_ways]
+                    for sample in timeline
+                ],
+            }
+
+        # ----- hot loop: plain in strict mode, per-access in tolerant ---
+        tolerant = self.on_fault == "record"
 
         def drain(start: int, stop: int) -> None:
             nonlocal faulted
@@ -160,33 +245,34 @@ class Simulator:
                     i += 1
 
         # ----- fast-forward (warm structures, Lite live, stats discarded)
-        pos = 0
-        next_interval = interval_accesses if lite else total + 1
-        last_interval_misses = 0
-        fire_events(0)
-        while pos < fast_forward_accesses:
-            stop = min(fast_forward_accesses, next_interval, next_event_position())
-            drain(pos, stop)
-            pos = stop
-            fire_events(pos)
-            if lite is not None and pos == next_interval:
-                misses = hierarchy.l1_misses
-                lite.end_interval(misses - last_interval_misses, interval_instructions)
-                last_interval_misses = misses
-                next_interval += interval_accesses
-        hierarchy.reset_measurement()
-        last_interval_misses = 0
-        lite_intervals_before = lite.stats.intervals if lite else 0
-        if lite is not None:
-            next_interval = pos + interval_accesses
+        if phase == "fast-forward":
+            if resume_state is None:
+                fire_events(0)
+            while pos < fast_forward_accesses:
+                stop = min(fast_forward_accesses, next_interval, next_event_position())
+                drain(pos, stop)
+                pos = stop
+                fire_events(pos)
+                if lite is not None and pos == next_interval:
+                    misses = hierarchy.l1_misses
+                    lite.end_interval(
+                        misses - last_interval_misses, interval_instructions
+                    )
+                    last_interval_misses = misses
+                    next_interval += interval_accesses
+                boundary += 1
+                if checkpoint_hook is not None:
+                    checkpoint_hook(loop_state("fast-forward"))
+            hierarchy.reset_measurement()
+            last_interval_misses = 0
+            lite_intervals_before = lite.stats.intervals if lite else 0
+            if lite is not None:
+                next_interval = pos + interval_accesses
+            next_sample = pos + window
+            last_sample_misses = 0
+            phase = "measured"
 
         # ----- measured run with timeline sampling ----------------------
-        measured = total - fast_forward_accesses
-        window = max(1, measured // self.sim_params.timeline_windows)
-        window_instructions = max(1, round(window * ipa))
-        next_sample = pos + window
-        last_sample_misses = 0
-        timeline: list[TimelineSample] = []
         while pos < total:
             stop = min(total, next_interval, next_sample, next_event_position())
             drain(pos, stop)
@@ -211,6 +297,9 @@ class Simulator:
                 next_sample += window
                 if self.auditor is not None:
                     self.auditor.audit_hierarchy(hierarchy, lite, faulted)
+            boundary += 1
+            if checkpoint_hook is not None:
+                checkpoint_hook(loop_state("measured"))
 
         # ----- collect results ------------------------------------------
         hierarchy.sync_stats()

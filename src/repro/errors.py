@@ -28,6 +28,17 @@ by *kind* instead of string-matching messages:
     does not match the requested matrix).
 ``TransientSimulationError``
     Marker for failures worth retrying (the sweep runner's backoff path).
+``CheckpointError``
+    A simulation snapshot cannot be written, read, or restored (bad
+    version, checksum mismatch, geometry mismatch on load).
+``AddressSpaceError``
+    The OS memory substrate (page tables, allocators, processes) was
+    asked to perform an invalid operation.
+``TranslationError`` / ``TranslationDomainError``
+    Invalid translation objects, and translate() calls outside a
+    mapping's covered interval.
+``ExportError``
+    Result export cannot proceed (nothing to write).
 
 Most classes double-derive from the built-in exception they historically
 replaced (``ValueError``, ``KeyError``, ``FileNotFoundError``) so that
@@ -76,6 +87,45 @@ class SweepError(ReproError):
 
 class TransientSimulationError(ReproError):
     """A failure the sweep runner should retry with backoff."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint snapshot is unreadable, corrupt, or incompatible.
+
+    Raised on version/checksum mismatches when loading snapshot files and
+    on geometry mismatches when a ``load_state_dict`` target does not
+    match the state it is asked to restore.
+    """
+
+
+class AddressSpaceError(ReproError, ValueError):
+    """The OS memory substrate was asked to do something invalid.
+
+    Covers page-table mapping conflicts, allocator misuse (bad orders,
+    misaligned frees), and process-level operations on pages of the wrong
+    kind.  Double-derives from :class:`ValueError` because those sites
+    historically raised ``ValueError``.
+    """
+
+
+class TranslationError(ReproError, ValueError):
+    """A translation or range object was constructed with invalid fields."""
+
+
+class TranslationDomainError(ReproError, KeyError):
+    """A ``translate()`` call fell outside the mapping's covered interval.
+
+    Double-derives from :class:`KeyError` (the historical behaviour the
+    fault-tolerant simulator and tests rely on).  ``str()`` renders the
+    message instead of :class:`KeyError`'s repr-of-args.
+    """
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class ExportError(ReproError, ValueError):
+    """Result export cannot proceed (e.g. an empty result collection)."""
 
 
 class UnknownNameError(ReproError, KeyError):

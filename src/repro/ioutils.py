@@ -1,0 +1,72 @@
+"""Crash-safe file I/O primitives shared by the experiment pipeline.
+
+Every durable artifact the pipeline writes — sweep journals, checkpoint
+snapshots, exported result files — goes through :func:`atomic_write_text`
+so a crash or preemption mid-write can never leave a half-written file at
+the destination path.  The pattern is the classic one: write to a
+temporary file in the *same directory* (so the final ``os.replace`` is an
+atomic rename within one filesystem), flush, fsync, then rename over the
+target.  Readers therefore only ever observe the old complete file or
+the new complete file, never a torn mixture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+def fsync_directory(directory: Path) -> None:
+    """Fsync a directory so a just-renamed entry survives a power cut.
+
+    Best-effort: some platforms/filesystems refuse to open directories
+    (or to fsync them); durability of the rename is then up to the OS.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file lives next to the target so the final rename is
+    atomic; it is fsync'd before the rename so the content is durable by
+    the time the new name appears.  On any failure the temp file is
+    removed and the original ``path`` content (if any) is untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_json(path, payload, *, indent: int | None = None) -> Path:
+    """Atomically write a JSON document with deterministic key order."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+    )

@@ -27,6 +27,9 @@ from __future__ import annotations
 import heapq
 import random
 
+from ..errors import AddressSpaceError
+from ..stateful import require, rng_state_from_json, rng_state_to_json
+
 #: Frames handed to the scatter pool per refill (order-12 block = 16 MB).
 _SCATTER_REFILL_ORDER = 12
 
@@ -53,7 +56,7 @@ class PhysicalMemory:
 
     def __init__(self, total_bytes: int = 32 << 30, seed: int = 0) -> None:
         if total_bytes <= 0 or total_bytes % 4096 != 0:
-            raise ValueError("total_bytes must be a positive multiple of 4096")
+            raise AddressSpaceError("total_bytes must be a positive multiple of 4096")
         self.total_frames = total_bytes >> 12
         self.max_order = _covering_order(self.total_frames)
         # Per order: heap of block starts + membership set (lazy deletion).
@@ -105,7 +108,7 @@ class PhysicalMemory:
         allocation failure and degrade); a negative order is a bug.
         """
         if order < 0:
-            raise ValueError(f"order {order} must be non-negative")
+            raise AddressSpaceError(f"order {order} must be non-negative")
         if order > self.max_order:
             raise OutOfMemoryError(
                 f"order {order} exceeds the arena (max order {self.max_order})"
@@ -127,7 +130,7 @@ class PhysicalMemory:
     def free_block(self, pfn: int, order: int) -> None:
         """Free a block, merging with its buddy as far as possible."""
         if pfn % (1 << order) != 0:
-            raise ValueError(f"block {pfn:#x} not aligned to order {order}")
+            raise AddressSpaceError(f"block {pfn:#x} not aligned to order {order}")
         while order < self.max_order:
             buddy = pfn ^ (1 << order)
             if buddy + (1 << order) > self.total_frames:
@@ -150,7 +153,7 @@ class PhysicalMemory:
         The unused tail is returned to the free lists immediately.
         """
         if npages <= 0:
-            raise ValueError("npages must be positive")
+            raise AddressSpaceError("npages must be positive")
         order = _covering_order(npages)
         pfn = self.alloc_block(order)
         self._free_run(pfn + npages, (1 << order) - npages)
@@ -229,8 +232,48 @@ class PhysicalMemory:
         the THP-fragmentation ablation to make 2 MB allocations fail.
         """
         if not 0.0 <= fraction <= 1.0:
-            raise ValueError("fraction must be in [0, 1]")
+            raise AddressSpaceError("fraction must be in [0, 1]")
         if seed is not None:
             self._rng = random.Random(seed)
         count = int(self._frames_free * fraction)
         return [self.alloc_frame() for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Pure-JSON allocator state.
+
+        Free lists serialize as the sorted *live* block starts per order —
+        lazily deleted heap entries are dropped, which is behaviour-
+        identical because :meth:`_pop_order` always returns the lowest
+        live address either way.
+        """
+        return {
+            "total_frames": self.total_frames,
+            "free": [sorted(live) for live in self._free],
+            "scatter_pool": list(self._scatter_pool),
+            "rng": rng_state_to_json(self._rng.getstate()),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the allocator onto a same-sized arena."""
+        require(
+            state["total_frames"] == self.total_frames,
+            f"allocator snapshot covers {state['total_frames']} frames, "
+            f"expected {self.total_frames}",
+        )
+        require(
+            len(state["free"]) == len(self._free),
+            f"allocator snapshot has {len(state['free'])} orders, "
+            f"expected {len(self._free)}",
+        )
+        self._frames_free = 0
+        for order, starts in enumerate(state["free"]):
+            self._free[order] = set(starts)
+            heap = sorted(starts)
+            heapq.heapify(heap)
+            self._heaps[order] = heap
+            self._frames_free += len(starts) << order
+        self._scatter_pool = list(state["scatter_pool"])
+        self._rng.setstate(rng_state_from_json(state["rng"]))

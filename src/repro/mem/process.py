@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import random
 
+from ..errors import AddressSpaceError
 from ..mmu.page_table import PageTable
 from ..mmu.translation import PageSize, Translation
+from ..stateful import rng_state_from_json, rng_state_to_json
 from .paging import DemandPaging, PagingPolicy
 from .physical import PhysicalMemory
 from .range_table import RangeTable
@@ -107,7 +109,7 @@ class Process:
         """
         leaf = self.page_table.walk(vpn4k)
         if leaf.page_size is not PageSize.SIZE_2MB:
-            raise ValueError(
+            raise AddressSpaceError(
                 f"vpn {vpn4k:#x} is backed by a {leaf.page_size.label()} page"
             )
         self.page_table.unmap(leaf.vpn)
@@ -126,7 +128,7 @@ class Process:
         how many random decisions the process made before this call.
         """
         if not 0.0 <= fraction <= 1.0:
-            raise ValueError("fraction must be in [0, 1]")
+            raise AddressSpaceError("fraction must be in [0, 1]")
         huge = [
             leaf.vpn
             for leaf in self.page_table.iter_translations()
@@ -167,3 +169,31 @@ class Process:
             f"{len(self.address_space)} VMAs, {mapped_mb:.1f} MB mapped, "
             f"{len(self.range_table)} ranges"
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Pure-JSON mutable OS state.
+
+        The address space (VMA layout) is deliberately absent: it is
+        construction geometry — workload builders lay it out
+        deterministically from the workload seed, and nothing in the
+        simulation loop mutates VMAs.  What does change mid-run (huge-page
+        demotions, allocator churn, RNG draws) is captured here.
+        """
+        return {
+            "seed": self.seed,
+            "physical": self.physical.state_dict(),
+            "page_table": self.page_table.state_dict(),
+            "range_table": self.range_table.state_dict(),
+            "rng": rng_state_to_json(self._rng.getstate()),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore onto a canonically rebuilt (same-workload) process."""
+        self.seed = state["seed"]
+        self.physical.load_state_dict(state["physical"])
+        self.page_table.load_state_dict(state["page_table"])
+        self.range_table.load_state_dict(state["range_table"])
+        self._rng.setstate(rng_state_from_json(state["rng"]))

@@ -81,3 +81,18 @@ class RangeTable:
     def total_pages(self) -> int:
         """Pages covered by all ranges (range-reach report)."""
         return sum(rng.num_pages for rng in self._ranges)
+
+    def state_dict(self) -> dict:
+        """Pure-JSON ranges in ascending virtual order."""
+        return {
+            "ranges": [
+                [rng.base_vpn, rng.limit_vpn, rng.base_pfn] for rng in self._ranges
+            ]
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Rebuild the sorted arrays from :meth:`state_dict` output."""
+        self._ranges = [
+            RangeTranslation(base, limit, pfn) for base, limit, pfn in state["ranges"]
+        ]
+        self._starts = [rng.base_vpn for rng in self._ranges]

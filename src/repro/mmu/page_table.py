@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from ..errors import AddressSpaceError
 from .translation import (
     LEVEL_BITS,
     LEVEL_MASK,
@@ -88,12 +89,13 @@ class PageTable:
     def map(self, translation: Translation) -> None:
         """Install a leaf entry, creating intermediate nodes as needed.
 
-        Raises ``ValueError`` if any part of the region is already mapped
-        (the OS substrate must unmap first), which catches accidental
-        double-allocation bugs in paging policies.
+        Raises :class:`repro.errors.AddressSpaceError` if any part of the
+        region is already mapped (the OS substrate must unmap first),
+        which catches accidental double-allocation bugs in paging
+        policies.
         """
         if not 0 <= translation.vpn <= VPN_LIMIT - int(translation.page_size):
-            raise ValueError(
+            raise AddressSpaceError(
                 f"vpn {translation.vpn:#x} outside the {VPN_BITS}-bit page-number space"
             )
         leaf_level = _LEAF_LEVEL[translation.page_size]
@@ -105,7 +107,7 @@ class PageTable:
                 child = PageTableNode(node.level - 1)
                 node.entries[index] = child
             elif isinstance(child, Translation):
-                raise ValueError(
+                raise AddressSpaceError(
                     f"vpn {translation.vpn:#x} already covered by huge page {child}"
                 )
             node = child
@@ -119,7 +121,7 @@ class PageTable:
             existing = None
             del node.entries[index]
         if existing is not None:
-            raise ValueError(
+            raise AddressSpaceError(
                 f"vpn {translation.vpn:#x} already mapped ({existing!r})"
             )
         node.entries[index] = translation
@@ -212,3 +214,28 @@ class PageTable:
 
         visit(self.root)
         return counts
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Pure-JSON leaf entries in address order.
+
+        Only leaves are serialized; intermediate radix nodes are rebuilt
+        by re-mapping.  Empty intermediate nodes left behind by ``unmap``
+        are therefore not reproduced — they are invisible to lookups and
+        walks, so simulation behaviour is unaffected.
+        """
+        return {
+            "translations": [
+                [leaf.vpn, leaf.pfn, int(leaf.page_size)]
+                for leaf in self.iter_translations()
+            ]
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Rebuild the radix tree from serialized leaves."""
+        self.root = PageTableNode(level=4)
+        self._mapped_pages_4k = 0
+        for vpn, pfn, size in state["translations"]:
+            self.map(Translation(vpn, pfn, PageSize(size)))

@@ -22,6 +22,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..errors import TranslationDomainError, TranslationError
+
 # Width of one radix-tree index (512 entries per node).
 LEVEL_BITS = 9
 LEVEL_MASK = (1 << LEVEL_BITS) - 1
@@ -131,11 +133,11 @@ class Translation:
 
     def __post_init__(self) -> None:
         if self.vpn % int(self.page_size) != 0:
-            raise ValueError(
+            raise TranslationError(
                 f"vpn {self.vpn:#x} not aligned to {self.page_size.label()}"
             )
         if self.pfn % int(self.page_size) != 0:
-            raise ValueError(
+            raise TranslationError(
                 f"pfn {self.pfn:#x} not aligned to {self.page_size.label()}"
             )
 
@@ -146,7 +148,7 @@ class Translation:
     def translate(self, vpn4k: int) -> int:
         """Physical frame number (4 KB units) of a page inside the mapping."""
         if not self.covers(vpn4k):
-            raise KeyError(f"vpn {vpn4k:#x} outside translation {self}")
+            raise TranslationDomainError(f"vpn {vpn4k:#x} outside translation {self}")
         return self.pfn + (vpn4k - self.vpn)
 
 
@@ -166,7 +168,7 @@ class RangeTranslation:
 
     def __post_init__(self) -> None:
         if self.limit_vpn <= self.base_vpn:
-            raise ValueError(
+            raise TranslationError(
                 f"empty range [{self.base_vpn:#x}, {self.limit_vpn:#x})"
             )
 
@@ -187,7 +189,7 @@ class RangeTranslation:
     def translate(self, vpn4k: int) -> int:
         """Physical frame number of a page inside the range."""
         if not self.covers(vpn4k):
-            raise KeyError(f"vpn {vpn4k:#x} outside range {self}")
+            raise TranslationDomainError(f"vpn {vpn4k:#x} outside range {self}")
         return vpn4k + self.offset
 
     def overlaps(self, other: "RangeTranslation") -> bool:

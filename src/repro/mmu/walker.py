@@ -41,6 +41,15 @@ class WalkerStats:
     def snapshot(self) -> "WalkerStats":
         return WalkerStats(self.walks, self.memory_refs)
 
+    def state_dict(self) -> dict:
+        """Pure-JSON counters (checkpoint protocol)."""
+        return {"walks": self.walks, "memory_refs": self.memory_refs}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore counters from :meth:`state_dict` output."""
+        self.walks = state["walks"]
+        self.memory_refs = state["memory_refs"]
+
 
 class PageWalker:
     """Walks a :class:`PageTable` with MMU-cache acceleration."""
@@ -66,3 +75,12 @@ class PageWalker:
         self.stats.walks += 1
         self.stats.memory_refs += refs
         return WalkResult(translation=translation, memory_refs=refs, levels_skipped=skipped)
+
+    def state_dict(self) -> dict:
+        """Pure-JSON walker state (the MMU caches are checkpointed by the
+        hierarchy, which owns them as energy-accounted structures)."""
+        return {"stats": self.stats.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        self.stats.load_state_dict(state["stats"])

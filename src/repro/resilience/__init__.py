@@ -1,16 +1,44 @@
-"""Robustness subsystem: fault injection, invariant auditing, resilient sweeps.
+"""Robustness subsystem: faults, auditing, checkpoints, resumable sweeps.
 
-Three pillars, each usable on its own:
+Five pillars, each usable on its own:
 
 * :mod:`repro.resilience.faults` — perturb reference streams and schedule
   adversarial OS events to prove the pipeline degrades gracefully;
 * :mod:`repro.resilience.auditor` — a sanitizer-style runtime mode that
   checks accounting identities during and after simulation;
+* :mod:`repro.resilience.checkpoint` — versioned, checksummed snapshots
+  of a running simulation (built on the ``state_dict`` protocol) plus
+  golden per-component state digests;
+* :mod:`repro.resilience.bisect` — binary-search two runs' digest trails
+  for the first diverging interval boundary and component;
 * :mod:`repro.resilience.sweep` — a checkpointing sweep runner with
-  per-cell isolation, retries, timeouts, and ``--resume``.
+  per-cell isolation, retries, timeouts, ``--resume``, and mid-cell
+  snapshot restart.
 """
 
 from .auditor import InvariantAuditor
+from .bisect import (
+    TrailRun,
+    bisect_divergence,
+    describe_divergence,
+    record_digest_trail,
+    record_resumed_trail,
+)
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    AbortSimulation,
+    DigestTrail,
+    Divergence,
+    SimulationCheckpointer,
+    component_digests,
+    first_divergence,
+    read_snapshot,
+    restore_simulation,
+    resume_from_snapshot,
+    simulation_state,
+    state_digest,
+    write_snapshot,
+)
 from .faults import (
     TRACE_FAULTS,
     CampaignCell,
@@ -26,6 +54,24 @@ from .sweep import SweepCell, SweepJournal, SweepReport, run_resilient_sweep
 
 __all__ = [
     "InvariantAuditor",
+    "TrailRun",
+    "bisect_divergence",
+    "describe_divergence",
+    "record_digest_trail",
+    "record_resumed_trail",
+    "CHECKPOINT_VERSION",
+    "AbortSimulation",
+    "DigestTrail",
+    "Divergence",
+    "SimulationCheckpointer",
+    "component_digests",
+    "first_divergence",
+    "read_snapshot",
+    "restore_simulation",
+    "resume_from_snapshot",
+    "simulation_state",
+    "state_digest",
+    "write_snapshot",
     "TRACE_FAULTS",
     "CampaignCell",
     "CampaignReport",

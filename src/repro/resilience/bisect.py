@@ -1,0 +1,169 @@
+"""Divergence bisection: find where two runs of one cell stop agreeing.
+
+When two runs that *should* be identical produce different reports —
+fresh vs. resumed-from-checkpoint, two builds of the simulator, a clean
+trace vs. a perturbed one — the interesting question is not *that* they
+differ but *where* they first differ: which interval boundary, and which
+component (one TLB? the page table? the Lite RNG stream?).
+
+This module drives :mod:`repro.resilience.checkpoint` through the
+canonical pipeline to answer that:
+
+* :func:`record_digest_trail` runs one cell and records per-component
+  sha256 digests at every Nth interval boundary;
+* :func:`record_resumed_trail` runs the same cell, kills it after K
+  boundaries (with a snapshot on disk), rebuilds the pipeline, resumes
+  from the snapshot, and stitches the two digest trails together — the
+  fresh-vs-resumed comparison behind the determinism CI job;
+* :func:`bisect_divergence` binary-searches two trails for the first
+  diverging boundary and names the diverging components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.experiments import ExperimentSettings, prepare_run
+from ..errors import CheckpointError
+from .checkpoint import (
+    AbortSimulation,
+    DigestTrail,
+    Divergence,
+    SimulationCheckpointer,
+    first_divergence,
+    resume_from_snapshot,
+)
+from .faults import TRACE_FAULTS
+
+
+@dataclass(slots=True)
+class TrailRun:
+    """A digest trail plus the finished result it was recorded from."""
+
+    trail: DigestTrail
+    result: object  # SimulationResult
+    boundaries: int
+
+
+def _prepare(workload, config_name, settings, trace_fault, fault_seed):
+    """Canonical cell build, optionally with a perturbed trace."""
+    # Perturbed traces produce unmappable VPNs; the simulator must survive
+    # them (tolerant mode) for the trail to reach the end of the trace.
+    on_fault = "record" if trace_fault is not None else "raise"
+    prepared = prepare_run(workload, config_name, settings, on_fault=on_fault)
+    if trace_fault is not None:
+        try:
+            inject = TRACE_FAULTS[trace_fault]
+        except KeyError:
+            raise CheckpointError(
+                f"unknown trace fault {trace_fault!r}; "
+                f"choose from {sorted(TRACE_FAULTS)}"
+            ) from None
+        prepared.trace = inject(prepared.trace, seed=fault_seed)
+    return prepared
+
+
+def record_digest_trail(
+    workload,
+    config_name: str,
+    settings: ExperimentSettings | None = None,
+    digest_every: int = 1,
+    trace_fault: str | None = None,
+    fault_seed: int = 0,
+) -> TrailRun:
+    """Run one cell start-to-finish, recording digests every Nth boundary."""
+    settings = settings or ExperimentSettings()
+    prepared = _prepare(workload, config_name, settings, trace_fault, fault_seed)
+    checkpointer = SimulationCheckpointer(
+        prepared.simulator, prepared.process, digest_every=digest_every
+    )
+    result = prepared.run(checkpoint_hook=checkpointer)
+    return TrailRun(
+        trail=checkpointer.trail,
+        result=result,
+        boundaries=checkpointer.boundaries_seen,
+    )
+
+
+def record_resumed_trail(
+    workload,
+    config_name: str,
+    settings: ExperimentSettings | None = None,
+    digest_every: int = 1,
+    abort_after: int = 3,
+    snapshot_path=None,
+    trace_fault: str | None = None,
+    fault_seed: int = 0,
+) -> TrailRun:
+    """Kill the cell after ``abort_after`` boundaries, then resume and finish.
+
+    The snapshot written at the kill point is loaded into a *freshly
+    rebuilt* pipeline (new process, new organization, new simulator), so
+    the resumed half shares no live objects with the first — exactly the
+    restart-after-crash scenario.  The returned trail stitches both
+    halves; compare it against :func:`record_digest_trail`'s to prove (or
+    bisect) resume determinism.
+    """
+    if snapshot_path is None:
+        raise CheckpointError("record_resumed_trail needs a snapshot_path")
+    settings = settings or ExperimentSettings()
+    first = _prepare(workload, config_name, settings, trace_fault, fault_seed)
+    first_checkpointer = SimulationCheckpointer(
+        first.simulator,
+        first.process,
+        path=snapshot_path,
+        checkpoint_every=1,
+        digest_every=digest_every,
+        abort_after=abort_after,
+    )
+    try:
+        first.run(checkpoint_hook=first_checkpointer)
+        raise CheckpointError(
+            f"run finished in {first_checkpointer.boundaries_seen} boundaries, "
+            f"before the abort point ({abort_after}); nothing to resume"
+        )
+    except AbortSimulation:
+        pass
+
+    resumed = _prepare(workload, config_name, settings, trace_fault, fault_seed)
+    loop_state = resume_from_snapshot(resumed, snapshot_path)
+    resumed_checkpointer = SimulationCheckpointer(
+        resumed.simulator, resumed.process, digest_every=digest_every
+    )
+    result = resumed.run(
+        checkpoint_hook=resumed_checkpointer, resume_state=loop_state
+    )
+
+    trail = DigestTrail()
+    resume_boundary = loop_state["boundary"]
+    for boundary, digest_map in zip(
+        first_checkpointer.trail.boundaries, first_checkpointer.trail.digests
+    ):
+        if boundary <= resume_boundary:
+            trail.record(boundary, digest_map)
+    for boundary, digest_map in zip(
+        resumed_checkpointer.trail.boundaries, resumed_checkpointer.trail.digests
+    ):
+        trail.record(boundary, digest_map)
+    return TrailRun(
+        trail=trail,
+        result=result,
+        boundaries=resume_boundary + resumed_checkpointer.boundaries_seen,
+    )
+
+
+def bisect_divergence(trail_a: DigestTrail, trail_b: DigestTrail) -> Divergence | None:
+    """First boundary and components where two trails disagree (or None)."""
+    return first_divergence(trail_a, trail_b)
+
+
+def describe_divergence(divergence: Divergence | None) -> str:
+    """Human-readable one/two-line verdict for the CLI."""
+    if divergence is None:
+        return "no divergence: every recorded boundary has identical state digests"
+    components = ", ".join(divergence.components) or "(no component differs?)"
+    return (
+        f"first divergence at boundary {divergence.boundary} "
+        f"(record #{divergence.index + 1})\n"
+        f"diverging components: {components}"
+    )

@@ -30,13 +30,16 @@ import json
 import os
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..analysis.experiments import ExperimentSettings, run_workload_config
+from ..analysis.experiments import ExperimentSettings, prepare_run
 from ..core.organizations import CONFIG_NAMES
 from ..errors import SweepError, TransientSimulationError
+from ..ioutils import atomic_write_text
 from .auditor import InvariantAuditor
+from .checkpoint import SimulationCheckpointer, resume_from_snapshot
 
 JOURNAL_VERSION = 1
 
@@ -103,18 +106,18 @@ class SweepJournal:
         return self.path.exists()
 
     def start(self, fingerprint: dict) -> None:
-        """Truncate and write the header for a fresh sweep."""
+        """Atomically (re)create the journal with a fresh header.
+
+        Atomic replace, not truncate-then-write: a kill between truncation
+        and the header write would otherwise leave an empty journal that a
+        later ``--resume`` rejects as corrupt.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "w") as handle:
-            handle.write(
-                json.dumps(
-                    {"journal_version": JOURNAL_VERSION, "fingerprint": fingerprint},
-                    sort_keys=True,
-                )
-                + "\n"
-            )
-            handle.flush()
-            os.fsync(handle.fileno())
+        header = json.dumps(
+            {"journal_version": JOURNAL_VERSION, "fingerprint": fingerprint},
+            sort_keys=True,
+        )
+        atomic_write_text(self.path, header + "\n")
 
     def load(self, fingerprint: dict) -> dict[str, dict]:
         """Completed rows keyed by cell; validates the fingerprint."""
@@ -139,11 +142,18 @@ class SweepJournal:
                 f"journal {self.path} was written for a different matrix; "
                 "refusing to resume (delete it or match the original settings)"
             )
-        for line in lines[1:]:
+        for number, line in enumerate(lines[1:], start=2):
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn final line from a mid-write kill
+                # A torn final line is the expected signature of a mid-write
+                # kill; garbage anywhere costs only that cell (it re-runs).
+                warnings.warn(
+                    f"journal {self.path} line {number} is truncated or "
+                    "corrupt; ignoring it (the cell will be re-run)",
+                    stacklevel=2,
+                )
+                continue
             if "key" in record and "row" in record:
                 completed[record["key"]] = record["row"]
         return completed
@@ -230,6 +240,12 @@ def _run_with_timeout(fn, timeout_s: float | None):
     return box["value"]
 
 
+def _cell_checkpoint_path(journal_path: Path, key: str) -> Path:
+    """Snapshot file for one in-flight cell, derived from the journal path."""
+    safe_key = key.replace("|", "--").replace(os.sep, "_")
+    return journal_path.with_name(f"{journal_path.name}.{safe_key}.ckpt")
+
+
 def run_resilient_sweep(
     workloads,
     config_names: tuple[str, ...] = CONFIG_NAMES,
@@ -242,6 +258,8 @@ def run_resilient_sweep(
     audit: bool = False,
     max_cells: int | None = None,
     progress=None,
+    checkpoint_every: int | None = None,
+    checkpoint_hook_factory=None,
 ) -> SweepReport:
     """Run the (workload × configuration) matrix with full hardening.
 
@@ -263,6 +281,17 @@ def run_resilient_sweep(
         mid-matrix kill; remaining cells are reported as ``skipped``).
     ``progress``
         Optional callable invoked with each finished :class:`SweepCell`.
+    ``checkpoint_every``
+        Snapshot the in-flight cell's full simulation state every N
+        interval boundaries (see :mod:`repro.resilience.checkpoint`),
+        next to the journal.  With ``resume``, a surviving snapshot
+        restores the interrupted cell *mid-trace* instead of restarting
+        it; the snapshot is deleted once its cell completes.  Requires a
+        ``journal_path``.
+    ``checkpoint_hook_factory``
+        Test hook: ``factory(checkpointer)`` is called with each cell's
+        :class:`SimulationCheckpointer` before the run starts (e.g. to
+        set ``abort_after`` and simulate a mid-cell kill).
     """
     settings = settings or ExperimentSettings()
     workloads = list(workloads)
@@ -277,13 +306,22 @@ def run_resilient_sweep(
             journal.start(fingerprint)
     elif resume:
         raise SweepError("--resume requires a journal path")
+    if checkpoint_every is not None and journal is None:
+        raise SweepError("checkpoint_every requires a journal path")
 
     report = SweepReport()
     executed = 0
     for workload in workloads:
         for config_name in config_names:
             key = _cell_key(workload.name, config_name)
+            checkpoint_path = (
+                _cell_checkpoint_path(journal.path, key)
+                if checkpoint_every is not None
+                else None
+            )
             if key in completed:
+                if checkpoint_path is not None and checkpoint_path.exists():
+                    checkpoint_path.unlink()  # stale: the cell is journaled
                 cell = SweepCell(
                     workload=workload.name,
                     configuration=config_name,
@@ -311,10 +349,16 @@ def run_resilient_sweep(
                 backoff_s=backoff_s,
                 cell_timeout_s=cell_timeout_s,
                 audit=audit,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                resume_cell=resume,
+                checkpoint_hook_factory=checkpoint_hook_factory,
             )
             executed += 1
             if cell.completed and journal is not None:
                 journal.append(key, cell.row)
+                if checkpoint_path is not None and checkpoint_path.exists():
+                    checkpoint_path.unlink()  # resume point superseded
             report.cells.append(cell)
             if progress is not None:
                 progress(cell)
@@ -329,6 +373,10 @@ def _run_cell(
     backoff_s: float,
     cell_timeout_s: float | None,
     audit: bool,
+    checkpoint_path: Path | None = None,
+    checkpoint_every: int | None = None,
+    resume_cell: bool = False,
+    checkpoint_hook_factory=None,
 ) -> SweepCell:
     """One isolated cell: attempts, backoff, timeout, structured outcome."""
     cell = SweepCell(workload=workload.name, configuration=config_name, status="failed")
@@ -337,14 +385,43 @@ def _run_cell(
     for attempt in range(retries + 1):
         cell.attempts = attempt + 1
         try:
-            def simulate():
+            def simulate(attempt=attempt):
                 auditor = InvariantAuditor() if audit else None
-                result = run_workload_config(
+                prepared = prepare_run(
                     workload,
                     config_name,
                     settings,
                     auditor=auditor,
                     on_fault="record",
+                )
+                resume_state = None
+                if (
+                    resume_cell
+                    and attempt == 0
+                    and checkpoint_path is not None
+                    and checkpoint_path.exists()
+                ):
+                    # Mid-cell restart: restore the interrupted simulation
+                    # instead of re-running its prefix.  Retries start
+                    # clean — a snapshot that keeps failing to restore
+                    # must not poison every attempt.
+                    resume_state = resume_from_snapshot(prepared, checkpoint_path)
+                hook = None
+                if checkpoint_path is not None and checkpoint_every is not None:
+                    hook = SimulationCheckpointer(
+                        prepared.simulator,
+                        prepared.process,
+                        path=checkpoint_path,
+                        checkpoint_every=checkpoint_every,
+                        meta={
+                            "workload": workload.name,
+                            "configuration": config_name,
+                        },
+                    )
+                    if checkpoint_hook_factory is not None:
+                        checkpoint_hook_factory(hook)
+                result = prepared.run(
+                    checkpoint_hook=hook, resume_state=resume_state
                 )
                 return result_row(result)
 

@@ -14,6 +14,7 @@ next bank (the usual design point).
 from __future__ import annotations
 
 from ..errors import ConfigurationError
+from ..stateful import require
 from .base import TranslationStructure
 from .set_assoc import SetAssociativeTLB, _is_power_of_two
 
@@ -104,3 +105,21 @@ class BankedSetAssociativeTLB(TranslationStructure):
     def bank_occupancies(self) -> list[int]:
         """Per-bank occupancy (bank-imbalance diagnostics)."""
         return [bank.occupancy() for bank in self.banks]
+
+    def state_dict(self) -> dict:
+        """Pure-JSON mutable state: every bank plus the aggregate stats."""
+        return {
+            "banks": [bank.state_dict() for bank in self.banks],
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot onto a canonically constructed structure."""
+        require(
+            len(state["banks"]) == len(self.banks),
+            f"{self.name}: snapshot holds {len(state['banks'])} banks, "
+            f"expected {len(self.banks)}",
+        )
+        for bank, bank_state in zip(self.banks, state["banks"]):
+            bank.load_state_dict(bank_state)
+        self.stats.load_state_dict(state["stats"])

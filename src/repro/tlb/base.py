@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..stateful import counter_from_json, counter_to_json
+
 
 @dataclass(slots=True)
 class TLBStats:
@@ -66,6 +68,22 @@ class TLBStats:
             fills_by_ways=Counter(self.fills_by_ways),
         )
 
+    def state_dict(self) -> dict:
+        """Pure-JSON counters (checkpoint protocol, see :mod:`repro.stateful`)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups_by_ways": counter_to_json(self.lookups_by_ways),
+            "fills_by_ways": counter_to_json(self.fills_by_ways),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore counters from :meth:`state_dict` output."""
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.lookups_by_ways = counter_from_json(state["lookups_by_ways"])
+        self.fills_by_ways = counter_from_json(state["fills_by_ways"])
+
 
 class TranslationStructure:
     """Base class for all lookup structures.
@@ -98,6 +116,19 @@ class TranslationStructure:
         """
         self.sync_stats()
         self.stats.reset()
+
+    def state_dict(self) -> dict:
+        """Pure-JSON mutable state (checkpoint protocol).
+
+        Every concrete structure implements this together with
+        :meth:`load_state_dict`; see :mod:`repro.stateful` for the
+        contract.
+        """
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        raise NotImplementedError
 
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

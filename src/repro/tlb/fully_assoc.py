@@ -18,6 +18,8 @@ flushed into per-configuration histograms by :meth:`sync_stats`.
 
 from __future__ import annotations
 
+from ..errors import ConfigurationError
+from ..stateful import decode_entry, encode_entry, require
 from .base import TranslationStructure
 
 
@@ -30,7 +32,7 @@ class FullyAssociativeTLB(TranslationStructure):
     def __init__(self, name: str, entries: int) -> None:
         super().__init__(name)
         if entries < 1:
-            raise ValueError("entries must be >= 1")
+            raise ConfigurationError("entries must be >= 1")
         self.entries = entries
         self.active_entries = entries
         self._stack: list[list] = []  # [key, value] pairs, MRU first
@@ -111,7 +113,9 @@ class FullyAssociativeTLB(TranslationStructure):
         the capacity with the new slots starting invalid.
         """
         if entries < 1 or entries > self.entries:
-            raise ValueError(f"active entries {entries} outside [1, {self.entries}]")
+            raise ConfigurationError(
+                f"active entries {entries} outside [1, {self.entries}]"
+            )
         self.sync_stats()
         if entries < self.active_entries:
             del self._stack[entries:]
@@ -124,3 +128,25 @@ class FullyAssociativeTLB(TranslationStructure):
     def resident_keys(self) -> list:
         """Keys in recency order (MRU first); for tests."""
         return [pair[0] for pair in self._stack]
+
+    def state_dict(self) -> dict:
+        """Pure-JSON mutable state: recency stack, pending counts, stats."""
+        return {
+            "entries": self.entries,
+            "active_entries": self.active_entries,
+            "stack": [[pair[0], encode_entry(pair[1])] for pair in self._stack],
+            "pending": [self._pending_hits, self._pending_misses, self._pending_fills],
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot onto a canonically constructed structure."""
+        require(
+            state["entries"] == self.entries,
+            f"{self.name}: snapshot capacity {state['entries']} does not "
+            f"match {self.entries}",
+        )
+        self.active_entries = state["active_entries"]
+        self._stack = [[key, decode_entry(value)] for key, value in state["stack"]]
+        self._pending_hits, self._pending_misses, self._pending_fills = state["pending"]
+        self.stats.load_state_dict(state["stats"])

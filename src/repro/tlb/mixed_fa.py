@@ -19,6 +19,7 @@ from typing import Optional
 
 from ..errors import ConfigurationError
 from ..mmu.translation import Translation
+from ..stateful import decode_entry, encode_entry, require
 from .base import TranslationStructure
 
 
@@ -124,3 +125,25 @@ class MixedFullyAssociativeTLB(TranslationStructure):
     def resident_translations(self) -> list[Translation]:
         """Entries in recency order (MRU first); for tests."""
         return list(self._stack)
+
+    def state_dict(self) -> dict:
+        """Pure-JSON mutable state: recency stack, pending counts, stats."""
+        return {
+            "entries": self.entries,
+            "active_entries": self.active_entries,
+            "stack": [encode_entry(entry) for entry in self._stack],
+            "pending": [self._pending_hits, self._pending_misses, self._pending_fills],
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot onto a canonically constructed structure."""
+        require(
+            state["entries"] == self.entries,
+            f"{self.name}: snapshot capacity {state['entries']} does not "
+            f"match {self.entries}",
+        )
+        self.active_entries = state["active_entries"]
+        self._stack = [decode_entry(data) for data in state["stack"]]
+        self._pending_hits, self._pending_misses, self._pending_fills = state["pending"]
+        self.stats.load_state_dict(state["stats"])

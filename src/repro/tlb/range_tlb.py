@@ -23,7 +23,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..errors import ConfigurationError
 from ..mmu.translation import RangeTranslation
+from ..stateful import decode_entry, encode_entry, require
 from .base import TranslationStructure
 
 
@@ -33,7 +35,7 @@ class RangeTLB(TranslationStructure):
     def __init__(self, name: str, entries: int) -> None:
         super().__init__(name)
         if entries < 1:
-            raise ValueError("entries must be >= 1")
+            raise ConfigurationError("entries must be >= 1")
         self.entries = entries
         self.active_entries = entries
         self._stack: list[RangeTranslation] = []  # MRU first
@@ -113,7 +115,9 @@ class RangeTLB(TranslationStructure):
     def set_active_entries(self, entries: int) -> None:
         """Lite-style capacity reduction (drops LRU-most entries)."""
         if entries < 1 or entries > self.entries:
-            raise ValueError(f"active entries {entries} outside [1, {self.entries}]")
+            raise ConfigurationError(
+                f"active entries {entries} outside [1, {self.entries}]"
+            )
         self.sync_stats()
         if entries < self.active_entries:
             del self._stack[entries:]
@@ -126,3 +130,25 @@ class RangeTLB(TranslationStructure):
     def resident_ranges(self) -> list[RangeTranslation]:
         """Ranges in recency order (MRU first); for tests."""
         return list(self._stack)
+
+    def state_dict(self) -> dict:
+        """Pure-JSON mutable state: recency stack, pending counts, stats."""
+        return {
+            "entries": self.entries,
+            "active_entries": self.active_entries,
+            "stack": [encode_entry(rng) for rng in self._stack],
+            "pending": [self._pending_hits, self._pending_misses, self._pending_fills],
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot onto a canonically constructed structure."""
+        require(
+            state["entries"] == self.entries,
+            f"{self.name}: snapshot capacity {state['entries']} does not "
+            f"match {self.entries}",
+        )
+        self.active_entries = state["active_entries"]
+        self._stack = [decode_entry(data) for data in state["stack"]]
+        self._pending_hits, self._pending_misses, self._pending_fills = state["pending"]
+        self.stats.load_state_dict(state["stats"])

@@ -16,6 +16,7 @@ from the touched way.
 from __future__ import annotations
 
 from ..errors import ConfigurationError
+from ..stateful import decode_entry, encode_entry, require
 from .base import TranslationStructure
 from .set_assoc import _is_power_of_two
 
@@ -190,3 +191,40 @@ class PLRUSetAssociativeTLB(TranslationStructure):
         return sum(
             1 for slots in self._slots for pair in slots if pair is not None
         )
+
+    def state_dict(self) -> dict:
+        """Pure-JSON mutable state: way slots, PLRU bits, pending, stats."""
+        return {
+            "num_sets": self.num_sets,
+            "ways": self.ways,
+            "active_ways": self.active_ways,
+            "slots": [
+                [
+                    None if pair is None else [pair[0], encode_entry(pair[1])]
+                    for pair in slots
+                ]
+                for slots in self._slots
+            ],
+            "trees": [list(tree) for tree in self._trees],
+            "pending": [self._pending_hits, self._pending_misses, self._pending_fills],
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot onto a canonically constructed structure."""
+        require(
+            state["num_sets"] == self.num_sets and state["ways"] == self.ways,
+            f"{self.name}: snapshot geometry {state['num_sets']}x{state['ways']} "
+            f"does not match {self.num_sets}x{self.ways}",
+        )
+        self.active_ways = state["active_ways"]
+        self._slots = [
+            [
+                None if pair is None else (pair[0], decode_entry(pair[1]))
+                for pair in slots
+            ]
+            for slots in state["slots"]
+        ]
+        self._trees = [list(tree) for tree in state["trees"]]
+        self._pending_hits, self._pending_misses, self._pending_fills = state["pending"]
+        self.stats.load_state_dict(state["stats"])

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..errors import ConfigurationError
+from ..stateful import require
 from .base import TranslationStructure
 from .set_assoc import SetAssociativeTLB
 
@@ -38,7 +40,7 @@ class SemanticPartitionedTLB(TranslationStructure):
     ) -> None:
         super().__init__(name)
         if not partitions:
-            raise ValueError("need at least one partition")
+            raise ConfigurationError("need at least one partition")
         self.partitions = partitions
         self._classify = classify
 
@@ -96,6 +98,29 @@ class SemanticPartitionedTLB(TranslationStructure):
     def occupancy(self) -> int:
         """Valid entries across all partitions."""
         return sum(partition.occupancy() for partition in self.partitions)
+
+    def state_dict(self) -> dict:
+        """Pure-JSON mutable state: every partition plus aggregate stats.
+
+        The classifier closure is construction geometry (derived from the
+        process's VMA layout, which the canonical rebuild reproduces), so
+        it is not serialized.
+        """
+        return {
+            "partitions": [partition.state_dict() for partition in self.partitions],
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot onto a canonically constructed structure."""
+        require(
+            len(state["partitions"]) == len(self.partitions),
+            f"{self.name}: snapshot holds {len(state['partitions'])} "
+            f"partitions, expected {len(self.partitions)}",
+        )
+        for partition, partition_state in zip(self.partitions, state["partitions"]):
+            partition.load_state_dict(partition_state)
+        self.stats.load_state_dict(state["stats"])
 
 
 def classify_by_vma(address_space) -> Callable[[int], int]:

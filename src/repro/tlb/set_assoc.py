@@ -26,6 +26,8 @@ exactly as the paper's Figure 6 does ({0}, {1}, {2-3}, {4-7}, ...).
 
 from __future__ import annotations
 
+from ..errors import ConfigurationError
+from ..stateful import decode_entry, encode_entry, require
 from .base import TranslationStructure
 
 
@@ -59,14 +61,16 @@ class SetAssociativeTLB(TranslationStructure):
     def __init__(self, name: str, entries: int, ways: int) -> None:
         super().__init__(name)
         if entries % ways != 0:
-            raise ValueError(f"{entries} entries not divisible by {ways} ways")
+            raise ConfigurationError(f"{entries} entries not divisible by {ways} ways")
         if not _is_power_of_two(ways):
-            raise ValueError(f"associativity {ways} must be a power of two")
+            raise ConfigurationError(f"associativity {ways} must be a power of two")
         self.entries = entries
         self.ways = ways
         self.num_sets = entries // ways
         if not _is_power_of_two(self.num_sets):
-            raise ValueError(f"set count {self.num_sets} must be a power of two")
+            raise ConfigurationError(
+                f"set count {self.num_sets} must be a power of two"
+            )
         self._set_mask = self.num_sets - 1
         self.active_ways = ways
         # Each set: list of [key, value] pairs ordered MRU -> LRU.
@@ -174,7 +178,7 @@ class SetAssociativeTLB(TranslationStructure):
         come up invalid, so no stale translations appear.
         """
         if not _is_power_of_two(ways) or ways > self.ways:
-            raise ValueError(
+            raise ConfigurationError(
                 f"active ways {ways} must be a power of two <= {self.ways}"
             )
         self.sync_stats()
@@ -197,3 +201,45 @@ class SetAssociativeTLB(TranslationStructure):
     def set_contents(self, set_index: int) -> list[int]:
         """Keys of one set in recency order (MRU first); for tests."""
         return [pair[0] for pair in self._sets[set_index]]
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Pure-JSON mutable state: sets (MRU order), pending counts, stats.
+
+        ``hit_rank_counters`` is deliberately absent: the list is owned by
+        Lite's :class:`repro.core.counters.LRUDistanceCounters` and is
+        checkpointed by the Lite controller to preserve object identity.
+        """
+        return {
+            "num_sets": self.num_sets,
+            "ways": self.ways,
+            "active_ways": self.active_ways,
+            "sets": [
+                [[pair[0], encode_entry(pair[1])] for pair in entries]
+                for entries in self._sets
+            ],
+            "pending": [self._pending_hits, self._pending_misses, self._pending_fills],
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot onto a canonically constructed structure."""
+        require(
+            state["num_sets"] == self.num_sets and state["ways"] == self.ways,
+            f"{self.name}: snapshot geometry {state['num_sets']}x{state['ways']} "
+            f"does not match {self.num_sets}x{self.ways}",
+        )
+        require(
+            len(state["sets"]) == self.num_sets,
+            f"{self.name}: snapshot holds {len(state['sets'])} sets, "
+            f"expected {self.num_sets}",
+        )
+        self.active_ways = state["active_ways"]
+        self._sets = [
+            [[key, decode_entry(value)] for key, value in entries]
+            for entries in state["sets"]
+        ]
+        self._pending_hits, self._pending_misses, self._pending_fills = state["pending"]
+        self.stats.load_state_dict(state["stats"])

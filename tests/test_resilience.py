@@ -291,9 +291,10 @@ class TestResilientSweep:
         )
         with open(journal, "a") as handle:
             handle.write('{"key": "povray|THP", "row": {"trunc')  # mid-write kill
-        resumed = run_resilient_sweep(
-            [workload], ("4KB", "THP"), SETTINGS, journal_path=journal, resume=True
-        )
+        with pytest.warns(UserWarning, match="truncated or corrupt"):
+            resumed = run_resilient_sweep(
+                [workload], ("4KB", "THP"), SETTINGS, journal_path=journal, resume=True
+            )
         assert [cell.status for cell in resumed.cells] == ["resumed", "ok"]
 
     def test_failing_cell_is_isolated_and_reported(self):
