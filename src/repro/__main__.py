@@ -14,7 +14,17 @@ sweep
     (checkpointed, resumable execution), ``--checkpoint-every N`` (mid-cell
     snapshots, so ``--resume`` restarts inside an interrupted cell), ``--audit``
     (runtime invariant checking), ``--retries`` and ``--cell-timeout``
-    (per-cell isolation).
+    (per-cell isolation).  Cells run under the **process supervisor** by
+    default: ``--workers N`` parallel worker processes (``--workers 0``
+    falls back to the legacy in-process path), hard SIGKILL timeouts,
+    ``--heartbeat-timeout`` hang detection, ``--memory-limit-mb``
+    per-worker budgets (structured ``oom`` status),
+    ``--quarantine-after`` crash quarantine, and graceful SIGINT/SIGTERM
+    shutdown that leaves the journal byte-identically resumable (exit
+    code 3).  ``--chaos-kill-prob``/``--chaos-seed`` inject worker
+    SIGKILLs at random drain-loop boundaries — fault injection aimed at
+    the supervisor itself (the chaos CI job).  ``--print-digest`` prints
+    the journal's order-independent row digest for cross-run comparison.
 bisect-divergence
     Run one (workload, configuration) cell twice — fresh vs.
     resumed-from-checkpoint by default, or against a second seed
@@ -65,8 +75,8 @@ from .resilience.bisect import (
     record_digest_trail,
     record_resumed_trail,
 )
-from .resilience.faults import TRACE_FAULTS
-from .resilience.sweep import run_resilient_sweep
+from .resilience.faults import TRACE_FAULTS, ChaosPolicy
+from .resilience.sweep import SweepJournal, run_resilient_sweep
 from .workloads.registry import all_workloads, get_workload
 
 #: Journal used by ``sweep --resume`` when ``--journal`` is not given.
@@ -131,6 +141,11 @@ def _cmd_sweep(args) -> int:
     journal_path = args.journal
     if journal_path is None and args.resume:
         journal_path = DEFAULT_JOURNAL
+    chaos = None
+    if args.chaos_kill_prob > 0.0:
+        chaos = ChaosPolicy(
+            kill_probability=args.chaos_kill_prob, seed=args.chaos_seed
+        )
     report = run_resilient_sweep(
         [workload],
         CONFIG_NAMES,
@@ -141,6 +156,11 @@ def _cmd_sweep(args) -> int:
         cell_timeout_s=args.cell_timeout,
         audit=args.audit,
         checkpoint_every=args.checkpoint_every,
+        workers=args.workers if args.workers > 0 else None,
+        quarantine_after=args.quarantine_after,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        memory_limit_mb=args.memory_limit_mb,
+        chaos=chaos,
     )
     baseline_cell = report.cell(workload.name, CONFIG_NAMES[0])
     baseline = baseline_cell.row if baseline_cell and baseline_cell.completed else None
@@ -167,6 +187,15 @@ def _cmd_sweep(args) -> int:
             title=f"{workload.name} — Figure 10 slice",
         )
     )
+    if args.print_digest and journal_path is not None:
+        print(f"journal digest: {SweepJournal(journal_path).digest()}")
+    if report.interrupted:
+        print(
+            f"\nsweep interrupted ({report.summary()}); the journal is "
+            "resumable with --resume",
+            file=sys.stderr,
+        )
+        return 3
     if report.failed_cells:
         print(f"\nwarning: incomplete sweep ({report.summary()})", file=sys.stderr)
         for cell in report.failed_cells:
@@ -302,6 +331,56 @@ def main(argv: list[str] | None = None) -> int:
         help="snapshot the in-flight cell every N interval boundaries "
         "(with --resume, restarts the interrupted cell mid-trace; "
         "requires --journal)",
+    )
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-supervised worker count (default 1: serial, "
+        "byte-identical journals; 0 falls back to the in-process path "
+        "whose timeouts cannot reclaim CPU)",
+    )
+    sweep_parser.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=3,
+        metavar="N",
+        help="journal a cell as quarantined (and skip it on --resume) "
+        "after its worker crashed N times",
+    )
+    sweep_parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="SIGKILL a worker whose per-boundary heartbeat goes silent "
+        "this long (hang detection ahead of --cell-timeout)",
+    )
+    sweep_parser.add_argument(
+        "--memory-limit-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="per-worker address-space budget; a breach becomes the "
+        "structured 'oom' cell status instead of a crash",
+    )
+    sweep_parser.add_argument(
+        "--chaos-kill-prob",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="chaos mode: SIGKILL each first-attempt worker with this "
+        "per-boundary probability (tests the supervisor itself)",
+    )
+    sweep_parser.add_argument(
+        "--chaos-seed", type=int, default=0, help="seed for --chaos-kill-prob"
+    )
+    sweep_parser.add_argument(
+        "--print-digest",
+        action="store_true",
+        help="print the journal's order-independent row digest "
+        "(requires --journal)",
     )
 
     bisect_parser = sub.add_parser(

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..mem.physical import PhysicalMemory
 from ..mem.process import Process
 from ..workloads.base import Workload
@@ -57,9 +58,9 @@ class TimeSharingConfig:
 
     def __post_init__(self) -> None:
         if self.quantum_accesses <= 0:
-            raise ValueError("quantum_accesses must be positive")
+            raise ConfigurationError("quantum_accesses must be positive")
         if self.accesses_per_process <= 0:
-            raise ValueError("accesses_per_process must be positive")
+            raise ConfigurationError("accesses_per_process must be positive")
 
 
 def build_system(
@@ -77,7 +78,7 @@ def build_system(
     ``pcid=False``) a flush event is scheduled at every switch boundary.
     """
     if not 1 <= len(workloads) <= MAX_PROCESSES:
-        raise ValueError(f"need 1..{MAX_PROCESSES} workloads")
+        raise ConfigurationError(f"need 1..{MAX_PROCESSES} workloads")
     policy = paging_policy_for(config_name)
     union = Process(
         physical=PhysicalMemory(sharing.physical_bytes, seed=sharing.seed),

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import ConfigurationError, SettingsError
+
 
 @dataclass(frozen=True, slots=True)
 class SetAssocParams:
@@ -76,13 +78,15 @@ class LiteParams:
 
     def __post_init__(self) -> None:
         if self.threshold_mode not in ("relative", "absolute"):
-            raise ValueError("threshold_mode must be 'relative' or 'absolute'")
+            raise ConfigurationError(
+                "threshold_mode must be 'relative' or 'absolute'"
+            )
         if self.interval_instructions <= 0:
-            raise ValueError("interval_instructions must be positive")
+            raise ConfigurationError("interval_instructions must be positive")
         if not 0.0 <= self.reactivate_probability <= 1.0:
-            raise ValueError("reactivate_probability must be in [0, 1]")
+            raise ConfigurationError("reactivate_probability must be in [0, 1]")
         if self.min_ways < 1:
-            raise ValueError("min_ways must be >= 1")
+            raise ConfigurationError("min_ways must be >= 1")
 
     def threshold(self, reference_mpki: float) -> float:
         """Largest acceptable MPKI given the reference value."""
@@ -114,9 +118,9 @@ class SimulationParams:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fast_forward_fraction < 1.0:
-            raise ValueError("fast_forward_fraction must be in [0, 1)")
+            raise SettingsError("fast_forward_fraction must be in [0, 1)")
         if self.timeline_windows < 1:
-            raise ValueError("timeline_windows must be >= 1")
+            raise SettingsError("timeline_windows must be >= 1")
 
 
 @dataclass(frozen=True)

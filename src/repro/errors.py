@@ -28,6 +28,17 @@ by *kind* instead of string-matching messages:
     does not match the requested matrix).
 ``TransientSimulationError``
     Marker for failures worth retrying (the sweep runner's backoff path).
+``WorkerCrashError``
+    A supervised sweep worker process died without reporting a result
+    (native crash, OOM kill, ``sys.exit``).  Retryable: the supervisor
+    re-dispatches the cell until the quarantine threshold.
+``MemoryBudgetError``
+    A worker exceeded its per-cell memory budget.  Fatal for the cell
+    (re-running under the same budget reproduces the breach) but the
+    sweep continues; the cell gets the structured ``oom`` status.
+``QuarantinedCellError``
+    A poison cell crossed the crash-quarantine threshold and was
+    journaled as quarantined; it is skipped on ``--resume``.
 ``CheckpointError``
     A simulation snapshot cannot be written, read, or restored (bad
     version, checksum mismatch, geometry mismatch on load).
@@ -87,6 +98,38 @@ class SweepError(ReproError):
 
 class TransientSimulationError(ReproError):
     """A failure the sweep runner should retry with backoff."""
+
+
+class WorkerCrashError(TransientSimulationError):
+    """A supervised sweep worker died without reporting a result.
+
+    Covers every way a child process can vanish mid-cell: a native
+    abort, the kernel OOM killer, a stray ``sys.exit``, or an interpreter
+    crash.  Derives from :class:`TransientSimulationError` because a
+    crash is retryable by definition — the supervisor re-dispatches the
+    cell until ``quarantine_after`` consecutive crashes mark it poison.
+    """
+
+
+class MemoryBudgetError(ReproError, MemoryError):
+    """A supervised worker exceeded its per-cell memory budget.
+
+    Raised (and marshalled as the structured ``oom`` cell status) when
+    the ``resource.setrlimit`` address-space budget trips a
+    :class:`MemoryError` inside the worker.  Fatal for the cell, not the
+    sweep: the same cell under the same budget would fail again, so it
+    is not retried, but every other cell keeps running.  Double-derives
+    from :class:`MemoryError` so generic handlers still match.
+    """
+
+
+class QuarantinedCellError(ReproError):
+    """A poison cell crossed the crash-quarantine threshold.
+
+    The cell is journaled as quarantined and skipped on ``--resume``;
+    the error message carries the crash count and the last crash detail
+    so the journal row is self-explanatory.
+    """
 
 
 class CheckpointError(ReproError):

@@ -13,7 +13,11 @@ Five pillars, each usable on its own:
   for the first diverging interval boundary and component;
 * :mod:`repro.resilience.sweep` — a checkpointing sweep runner with
   per-cell isolation, retries, timeouts, ``--resume``, and mid-cell
-  snapshot restart.
+  snapshot restart;
+* :mod:`repro.resilience.supervisor` — the process-isolated execution
+  engine behind ``workers=N``: one OS process per cell, hard SIGKILL
+  timeouts, heartbeat hang detection, memory budgets, crash quarantine,
+  and graceful SIGINT/SIGTERM shutdown.
 """
 
 from .auditor import InvariantAuditor
@@ -30,6 +34,7 @@ from .checkpoint import (
     DigestTrail,
     Divergence,
     SimulationCheckpointer,
+    claim_snapshot,
     component_digests,
     first_divergence,
     read_snapshot,
@@ -43,6 +48,7 @@ from .faults import (
     TRACE_FAULTS,
     CampaignCell,
     CampaignReport,
+    ChaosPolicy,
     adversarial_events,
     inject_duplicate_bursts,
     inject_negative_vpns,
@@ -50,7 +56,15 @@ from .faults import (
     run_fault_campaign,
     truncate_trace,
 )
-from .sweep import SweepCell, SweepJournal, SweepReport, run_resilient_sweep
+from .supervisor import WorkerTask, run_supervised_sweep
+from .sweep import (
+    CrashLedger,
+    JournalState,
+    SweepCell,
+    SweepJournal,
+    SweepReport,
+    run_resilient_sweep,
+)
 
 __all__ = [
     "InvariantAuditor",
@@ -81,8 +95,14 @@ __all__ = [
     "inject_out_of_range",
     "run_fault_campaign",
     "truncate_trace",
+    "ChaosPolicy",
+    "claim_snapshot",
+    "CrashLedger",
+    "JournalState",
     "SweepCell",
     "SweepJournal",
     "SweepReport",
+    "WorkerTask",
     "run_resilient_sweep",
+    "run_supervised_sweep",
 ]

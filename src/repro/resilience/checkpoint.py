@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -268,6 +269,12 @@ class SimulationCheckpointer:
         Test hook: raise :class:`AbortSimulation` after this many
         boundaries, *after* any snapshot/digest work — simulating a run
         killed mid-cell with a checkpoint on disk.
+    on_boundary:
+        Optional callable invoked with the loop state at *every*
+        boundary, after any snapshot/digest work.  The process
+        supervisor's workers use it to pump heartbeats, honour graceful
+        shutdown, and let the chaos policy strike — all without paying
+        for a snapshot at boundaries that don't want one.
     """
 
     def __init__(
@@ -279,6 +286,7 @@ class SimulationCheckpointer:
         digest_every: int = 0,
         meta: dict | None = None,
         abort_after: int | None = None,
+        on_boundary=None,
     ) -> None:
         if checkpoint_every < 1:
             raise CheckpointError("checkpoint_every must be >= 1")
@@ -289,6 +297,7 @@ class SimulationCheckpointer:
         self.digest_every = digest_every
         self.meta = dict(meta or {})
         self.abort_after = abort_after
+        self.on_boundary = on_boundary
         self.trail = DigestTrail()
         self.boundaries_seen = 0
         self.snapshots_written = 0
@@ -307,10 +316,62 @@ class SimulationCheckpointer:
             if want_snapshot:
                 write_snapshot(self.path, state, meta={**self.meta, "boundary": boundary})
                 self.snapshots_written += 1
+        if self.on_boundary is not None:
+            self.on_boundary(loop_state)
         if self.abort_after is not None and self.boundaries_seen >= self.abort_after:
             raise AbortSimulation(
                 f"aborted after {self.boundaries_seen} boundaries (test kill)"
             )
+
+    def snapshot_now(self, loop_state: dict) -> bool:
+        """Persist a snapshot at this boundary regardless of cadence.
+
+        The graceful-shutdown path uses this so a SIGTERM'd worker leaves
+        a resume point at the boundary it drained to, even when that
+        boundary is off the ``checkpoint_every`` grid.  Returns whether a
+        snapshot was written (``False`` when persistence is disabled).
+        """
+        if self.path is None:
+            return False
+        state = simulation_state(self.simulator, self.process, loop_state)
+        write_snapshot(
+            self.path, state, meta={**self.meta, "boundary": loop_state["boundary"]}
+        )
+        self.snapshots_written += 1
+        return True
+
+
+def claim_snapshot(path) -> dict | None:
+    """Validate and load a snapshot for worker handoff, or clear it.
+
+    The process supervisor's retry path hands a crashed cell's surviving
+    snapshot to the next worker so the cell restarts mid-trace instead of
+    from access 0.  A worker must never commit to a snapshot it cannot
+    restore — the very crash being retried may have torn component state
+    into the file's payload — so this helper front-loads the validation:
+
+    * no file → ``None`` (start clean);
+    * a readable, checksum-valid snapshot → its state dict;
+    * a corrupt/incompatible snapshot → **deleted** (with a warning) and
+      ``None``, so it cannot poison this or any later attempt.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        state, _meta = read_snapshot(path)
+    except CheckpointError as exc:
+        warnings.warn(
+            f"discarding unusable snapshot {path}: {exc} "
+            "(the cell restarts from access 0)",
+            stacklevel=2,
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    return state
 
 
 def resume_from_snapshot(prepared, path) -> dict:

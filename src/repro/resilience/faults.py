@@ -10,7 +10,13 @@ the reproduction.  Two families of faults:
   (a cut-short capture), and duplicate bursts (a stuck trace writer);
 * **adversarial OS events** — schedules for the simulator's ``events``
   hook: random full TLB shootdowns (context-switch storms) and huge-page
-  demotion storms (memory pressure breaking THP mappings mid-run).
+  demotion storms (memory pressure breaking THP mappings mid-run);
+* **worker chaos** — :class:`ChaosPolicy`, a fault plan the process
+  supervisor (:mod:`repro.resilience.supervisor`) injects into its own
+  workers: SIGKILL at random drain-loop boundaries, simulated memory
+  budget breaches, and deliberate hangs.  This is fault injection *for
+  the supervisor itself* — the chaos CI job proves a kill-riddled sweep
+  still converges to the same journal as an unfaulted serial run.
 
 :func:`run_fault_campaign` drives a (fault × configuration) matrix for
 one workload through the canonical pipeline with the simulator in
@@ -22,8 +28,11 @@ structured error in the campaign cell.
 
 from __future__ import annotations
 
+import os
+import signal
 import time
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -164,6 +173,70 @@ def adversarial_events(
         seed=seed + 1,
     )
     return sorted(events, key=lambda event: event[0])
+
+
+# ----------------------------------------------------------------------
+# Worker chaos (fault injection against the process supervisor)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """A deterministic fault plan executed *inside* supervised workers.
+
+    The supervisor threads the policy into each worker's task spec; the
+    worker consults it at every drain-loop boundary (the same boundaries
+    that feed heartbeats and snapshots), so every injected fault lands at
+    a point the checkpoint protocol can recover from:
+
+    * ``kill_probability`` — with this per-boundary probability, the
+      worker SIGKILLs itself: the real signal, no Python cleanup, exactly
+      what a kernel OOM kill or a preempted spot instance looks like;
+    * ``oom_at_boundary`` — raise :class:`MemoryError` at this boundary,
+      the same exception a tripped ``setrlimit`` budget produces, driving
+      the structured ``oom`` status path;
+    * ``hang_at_boundary`` — sleep ``hang_seconds`` at this boundary,
+      starving the heartbeat channel so the supervisor's hang detection
+      (or the hard timeout) must reclaim the worker with SIGKILL.
+
+    ``max_strikes_per_cell`` bounds how many *attempts* of one cell get
+    struck: with the default of 1 only attempt 0 can be hit, so a retried
+    cell is guaranteed to complete — the configuration the chaos CI job
+    uses to assert kill-riddled and unfaulted sweeps converge to
+    identical journals.  Draws come from an RNG seeded by
+    ``(seed, cell key, attempt)``, so a chaos run is exactly
+    reproducible and different cells/attempts fault independently.
+    """
+
+    kill_probability: float = 0.0
+    oom_at_boundary: int | None = None
+    hang_at_boundary: int | None = None
+    hang_seconds: float = 3600.0
+    max_strikes_per_cell: int = 1
+    seed: int = 0
+
+    def rng(self, key: str, attempt: int) -> np.random.Generator:
+        """Deterministic per-(cell, attempt) RNG for strike draws."""
+        return np.random.default_rng(
+            [self.seed, zlib.crc32(key.encode()), attempt]
+        )
+
+    def strike(self, rng: np.random.Generator, boundary: int, attempt: int) -> None:
+        """Consult the plan at one boundary; may never return."""
+        if attempt >= self.max_strikes_per_cell:
+            return
+        if self.oom_at_boundary is not None and boundary >= self.oom_at_boundary:
+            raise MemoryError(f"chaos: simulated budget breach at boundary {boundary}")
+        if self.hang_at_boundary is not None and boundary >= self.hang_at_boundary:
+            time.sleep(self.hang_seconds)
+        if self.kill_probability > 0.0 and rng.random() < self.kill_probability:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def to_json(self) -> dict:
+        """Plain-dict form for crossing the process boundary in a task spec."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ChaosPolicy":
+        return cls(**data)
 
 
 # ----------------------------------------------------------------------

@@ -34,14 +34,20 @@ import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
+import hashlib
+
 from ..analysis.experiments import ExperimentSettings, prepare_run
 from ..core.organizations import CONFIG_NAMES
 from ..errors import SweepError, TransientSimulationError
-from ..ioutils import atomic_write_text
+from ..ioutils import atomic_write_json, atomic_write_text
 from .auditor import InvariantAuditor
 from .checkpoint import SimulationCheckpointer, resume_from_snapshot
 
-JOURNAL_VERSION = 1
+#: Journal schema version.  v2 adds ``{"kind": "quarantined", ...}`` rows
+#: (poison cells the supervisor gave up on); v1 journals had no ``kind``
+#: discriminator, so mis-parsing them silently would surface quarantine
+#: rows as missing cells — loading rejects any other version outright.
+JOURNAL_VERSION = 2
 
 
 class _CellTimeout(Exception):
@@ -90,13 +96,23 @@ def _cell_key(workload_name: str, config_name: str) -> str:
     return f"{workload_name}|{config_name}"
 
 
+@dataclass(slots=True)
+class JournalState:
+    """Everything a resume needs from a journal: rows and quarantines."""
+
+    completed: dict[str, dict] = field(default_factory=dict)
+    quarantined: dict[str, dict] = field(default_factory=dict)
+
+
 class SweepJournal:
     """Append-only JSON-lines checkpoint of completed sweep cells.
 
     Line 1 is a header with the matrix fingerprint; each further line is
-    ``{"key": ..., "row": {...}}``.  Appends are flushed and fsynced so a
-    kill loses at most the cell in flight; a torn trailing line (partial
-    write) is tolerated and ignored on load.
+    either a completed cell ``{"key": ..., "row": {...}}`` or a poison
+    cell ``{"kind": "quarantined", "key": ..., "crashes": N, "error":
+    ...}``.  Appends are flushed and fsynced so a kill loses at most the
+    cell in flight; a torn trailing line (partial write) is tolerated and
+    ignored on load.
     """
 
     def __init__(self, path) -> None:
@@ -121,9 +137,17 @@ class SweepJournal:
 
     def load(self, fingerprint: dict) -> dict[str, dict]:
         """Completed rows keyed by cell; validates the fingerprint."""
+        return self.load_state(fingerprint).completed
+
+    def load_state(self, fingerprint: dict | None) -> JournalState:
+        """Full journal state (completed + quarantined cells).
+
+        Validates the schema version and — unless ``fingerprint`` is
+        ``None`` — that the journal belongs to the requested matrix.
+        """
         if not self.exists():
             raise SweepError(f"no journal to resume at {self.path}")
-        completed: dict[str, dict] = {}
+        state = JournalState()
         with open(self.path) as handle:
             lines = handle.read().splitlines()
         if not lines:
@@ -132,12 +156,18 @@ class SweepJournal:
             header = json.loads(lines[0])
         except json.JSONDecodeError as exc:
             raise SweepError(f"journal {self.path} has a corrupt header") from exc
-        if header.get("journal_version") != JOURNAL_VERSION:
+        version = header.get("journal_version")
+        if version != JOURNAL_VERSION:
+            # Old journals must fail loudly, not mis-parse: a v1 reader
+            # would surface v2 quarantine rows as silently missing cells
+            # (and vice versa), corrupting a resumed sweep's accounting.
             raise SweepError(
-                f"journal {self.path} has version "
-                f"{header.get('journal_version')!r}, expected {JOURNAL_VERSION}"
+                f"journal {self.path} uses schema version {version!r}; this "
+                f"build reads only version {JOURNAL_VERSION}. Old journals "
+                "cannot carry quarantine rows — re-run the sweep without "
+                "--resume (or finish it with the build that wrote it)."
             )
-        if header.get("fingerprint") != fingerprint:
+        if fingerprint is not None and header.get("fingerprint") != fingerprint:
             raise SweepError(
                 f"journal {self.path} was written for a different matrix; "
                 "refusing to resume (delete it or match the original settings)"
@@ -154,15 +184,96 @@ class SweepJournal:
                     stacklevel=2,
                 )
                 continue
-            if "key" in record and "row" in record:
-                completed[record["key"]] = record["row"]
-        return completed
+            if record.get("kind") == "quarantined" and "key" in record:
+                state.quarantined[record["key"]] = {
+                    "crashes": record.get("crashes", 0),
+                    "error": record.get("error"),
+                }
+            elif "key" in record and "row" in record:
+                state.completed[record["key"]] = record["row"]
+        return state
 
     def append(self, key: str, row: dict) -> None:
+        self._append_record({"key": key, "row": row})
+
+    def append_quarantine(self, key: str, crashes: int, error: str) -> None:
+        """Journal a poison cell so ``--resume`` skips it."""
+        self._append_record(
+            {"kind": "quarantined", "key": key, "crashes": crashes, "error": error}
+        )
+
+    def _append_record(self, record: dict) -> None:
         with open(self.path, "a") as handle:
-            handle.write(json.dumps({"key": key, "row": row}, sort_keys=True) + "\n")
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+
+    def digest(self) -> str:
+        """Order-independent sha256 over the journal's completed rows.
+
+        Two sweeps of the same matrix agree on this digest iff they
+        produced identical result rows, regardless of the completion
+        order their worker schedules happened to journal them in — the
+        comparison the chaos CI job makes between a kill-riddled parallel
+        sweep and an unfaulted serial one.
+        """
+        state = self.load_state(fingerprint=None)
+        canonical = json.dumps(sorted(state.completed.items()), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class CrashLedger:
+    """Crash tallies for in-flight cells, persisted beside the journal.
+
+    Lives *outside* the journal on purpose: the journal's byte-identity
+    contract (a resumed sweep's journal equals an uninterrupted run's)
+    must hold even when transient crashes forced retries, so per-attempt
+    crash records cannot go into the journal itself.  Only the terminal
+    quarantine decision does.  The ledger survives restarts so a poison
+    cell's crash count keeps accumulating across ``--resume`` cycles
+    instead of resetting and dodging quarantine forever.
+    """
+
+    def __init__(self, journal_path=None) -> None:
+        #: ``None`` (no journal) keeps the tallies in memory only.
+        self.path = (
+            Path(str(journal_path) + ".crashes.json")
+            if journal_path is not None
+            else None
+        )
+        self._counts: dict[str, int] = {}
+
+    def load(self) -> None:
+        if self.path is None or not self.path.exists():
+            self._counts = {}
+            return
+        try:
+            self._counts = {
+                str(key): int(value)
+                for key, value in json.loads(self.path.read_text()).items()
+            }
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"crash ledger {self.path} is unreadable ({exc}); "
+                "crash counts restart from zero",
+                stacklevel=2,
+            )
+            self._counts = {}
+
+    def count(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def bump(self, key: str) -> int:
+        """Record one crash; returns the new tally (persisted atomically)."""
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if self.path is not None:
+            atomic_write_json(self.path, self._counts)
+        return self._counts[key]
+
+    def reset(self) -> None:
+        self._counts = {}
+        if self.path is not None and self.path.exists():
+            self.path.unlink()
 
 
 @dataclass(slots=True)
@@ -171,7 +282,11 @@ class SweepCell:
 
     workload: str
     configuration: str
-    status: str  # ok | resumed | failed | timeout | skipped
+    #: ok | resumed | failed | timeout | skipped — plus, under the
+    #: process supervisor: oom (memory budget breached), quarantined
+    #: (poison cell journaled and skipped), interrupted (graceful
+    #: shutdown drained this cell mid-trace; it resumes next run).
+    status: str
     row: dict | None = None
     error: str | None = None
     attempts: int = 0
@@ -204,7 +319,11 @@ class SweepReport:
 
     @property
     def failed_cells(self) -> list[SweepCell]:
-        return [cell for cell in self.cells if cell.status in ("failed", "timeout")]
+        return [
+            cell
+            for cell in self.cells
+            if cell.status in ("failed", "timeout", "oom", "quarantined")
+        ]
 
     def summary(self) -> str:
         counts: dict[str, int] = {}
@@ -216,9 +335,16 @@ class SweepReport:
 def _run_with_timeout(fn, timeout_s: float | None):
     """Run ``fn`` with a wall-clock budget; raise :class:`_CellTimeout`.
 
-    The worker is a daemon thread: on timeout it is abandoned (Python
-    cannot kill threads), which is acceptable for simulation cells — they
-    hold no external resources and die with the process.
+    This is the **in-process fallback** (``workers=None``), kept for
+    platforms and callers that cannot fork (and for in-process test hooks
+    like ``checkpoint_hook_factory``).  Python cannot kill a thread, so
+    on timeout the daemon worker is *abandoned* and keeps burning a CPU
+    until the interpreter exits — the cell's wall clock is reclaimed, its
+    core is not.  That silent leak is why the process supervisor
+    (``workers=N`` / ``--workers``) is the default execution engine: it
+    SIGKILLs the timed-out worker process and actually frees the core.
+    A warning makes the leak visible whenever this path must abandon a
+    thread.
     """
     if timeout_s is None:
         return fn()
@@ -234,6 +360,14 @@ def _run_with_timeout(fn, timeout_s: float | None):
     worker.start()
     worker.join(timeout_s)
     if worker.is_alive():
+        warnings.warn(
+            f"cell exceeded its {timeout_s} s budget in the in-process "
+            "timeout path; the worker thread cannot be killed and will "
+            "keep consuming CPU until the process exits. Use the process "
+            "supervisor (workers=N / --workers) for hard-kill timeouts.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         raise _CellTimeout(f"cell exceeded {timeout_s} s")
     if "error" in box:
         raise box["error"]
@@ -260,6 +394,11 @@ def run_resilient_sweep(
     progress=None,
     checkpoint_every: int | None = None,
     checkpoint_hook_factory=None,
+    workers: int | None = None,
+    quarantine_after: int = 3,
+    heartbeat_timeout_s: float | None = None,
+    memory_limit_mb: int | None = None,
+    chaos=None,
 ) -> SweepReport:
     """Run the (workload × configuration) matrix with full hardening.
 
@@ -292,15 +431,54 @@ def run_resilient_sweep(
         Test hook: ``factory(checkpointer)`` is called with each cell's
         :class:`SimulationCheckpointer` before the run starts (e.g. to
         set ``abort_after`` and simulate a mid-cell kill).
+    ``workers``
+        ``None`` (default) keeps this in-process execution path.  Any
+        integer ≥ 1 delegates the whole sweep to the **process
+        supervisor** (:mod:`repro.resilience.supervisor`): every cell in
+        its own OS process, hard SIGKILL timeouts, heartbeat hang
+        detection, memory budgets, crash quarantine, and graceful
+        SIGINT/SIGTERM shutdown.  ``quarantine_after``,
+        ``heartbeat_timeout_s``, ``memory_limit_mb``, and ``chaos``
+        (a :class:`repro.resilience.faults.ChaosPolicy`) only apply
+        there.
     """
+    if workers is not None:
+        if checkpoint_hook_factory is not None:
+            raise SweepError(
+                "checkpoint_hook_factory is an in-process test hook; it "
+                "cannot cross the worker process boundary (use chaos=... "
+                "or workers=None)"
+            )
+        from .supervisor import run_supervised_sweep
+
+        return run_supervised_sweep(
+            workloads,
+            config_names,
+            settings,
+            journal_path=journal_path,
+            resume=resume,
+            retries=retries,
+            backoff_s=backoff_s,
+            cell_timeout_s=cell_timeout_s,
+            audit=audit,
+            max_cells=max_cells,
+            progress=progress,
+            checkpoint_every=checkpoint_every,
+            workers=workers,
+            quarantine_after=quarantine_after,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            memory_limit_mb=memory_limit_mb,
+            chaos=chaos,
+        )
+
     settings = settings or ExperimentSettings()
     workloads = list(workloads)
     fingerprint = _fingerprint([w.name for w in workloads], config_names, settings)
     journal = SweepJournal(journal_path) if journal_path is not None else None
-    completed: dict[str, dict] = {}
+    journal_state = JournalState()
     if journal is not None:
         if resume and journal.exists():
-            completed = journal.load(fingerprint)
+            journal_state = journal.load_state(fingerprint)
         else:
             # Fresh sweep (or resume with nothing to resume yet).
             journal.start(fingerprint)
@@ -308,12 +486,26 @@ def run_resilient_sweep(
         raise SweepError("--resume requires a journal path")
     if checkpoint_every is not None and journal is None:
         raise SweepError("checkpoint_every requires a journal path")
+    completed = journal_state.completed
 
     report = SweepReport()
     executed = 0
     for workload in workloads:
         for config_name in config_names:
             key = _cell_key(workload.name, config_name)
+            if key in journal_state.quarantined:
+                info = journal_state.quarantined[key]
+                cell = SweepCell(
+                    workload=workload.name,
+                    configuration=config_name,
+                    status="quarantined",
+                    error=info.get("error"),
+                    attempts=info.get("crashes", 0),
+                )
+                report.cells.append(cell)
+                if progress is not None:
+                    progress(cell)
+                continue
             checkpoint_path = (
                 _cell_checkpoint_path(journal.path, key)
                 if checkpoint_every is not None
