@@ -38,10 +38,13 @@ audit
     Simulate with the invariant auditor enabled and report the number of
     accounting checks passed (or the first violation).
 lint
-    Run the reprolint static-analysis pass (rules RL001–RL006) over the
+    Run the two-phase reprolint static-analysis pass (per-file rules
+    RL001–RL006, RL010 plus whole-program rules RL007–RL009) over the
     package (or given paths).  ``--strict`` applies the
     ``.reprolint-baseline.json`` ratchet and fails on new findings;
-    ``--update-baseline`` rewrites it.  See ``docs/static_analysis.md``.
+    ``--update-baseline`` rewrites it; ``--explain RLxxx`` documents a
+    rule; ``--changed`` reports only on files the working tree touched.
+    See ``docs/static_analysis.md``.
 
 Unknown workload or configuration names exit with a did-you-mean message
 instead of a traceback; structured simulator errors print as

@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 
 from ..core.stats import SimulationResult
+from ..errors import AnalysisError
 
 
 def normalized_energy(
@@ -39,7 +40,7 @@ def average_ratio(ratios: list[float], geometric: bool = False) -> float:
         return 0.0
     if geometric:
         if any(ratio <= 0 for ratio in ratios):
-            raise ValueError("geometric mean needs positive ratios")
+            raise AnalysisError("geometric mean needs positive ratios")
         return math.exp(sum(math.log(ratio) for ratio in ratios) / len(ratios))
     return sum(ratios) / len(ratios)
 

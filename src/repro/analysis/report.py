@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from ..errors import AnalysisError
+
 
 def render_table(
     headers: Sequence[str],
@@ -22,7 +24,7 @@ def render_table(
     widths = [len(header) for header in headers]
     for row in formatted_rows:
         if len(row) != len(headers):
-            raise ValueError("row length does not match headers")
+            raise AnalysisError("row length does not match headers")
         for index, cell in enumerate(row):
             widths[index] = max(widths[index], len(cell))
     lines = []

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import AnalysisError
+
 
 class _FenwickTree:
     """Binary indexed tree over trace positions (prefix sums of markers)."""
@@ -62,7 +64,7 @@ def reuse_distance_histogram(trace, granularity_pages: int = 1) -> Counter:
     touches under the :data:`COLD` key.
     """
     if granularity_pages < 1:
-        raise ValueError("granularity_pages must be >= 1")
+        raise AnalysisError("granularity_pages must be >= 1")
     pages = _as_page_list(trace, granularity_pages)
     n = len(pages)
     tree = _FenwickTree(n)
@@ -89,7 +91,7 @@ def lru_hit_ratio(histogram: Counter, entries: int) -> float:
     capacity.  Exact for the same stream the histogram came from.
     """
     if entries < 1:
-        raise ValueError("entries must be >= 1")
+        raise AnalysisError("entries must be >= 1")
     total = sum(histogram.values())
     if total == 0:
         return 0.0
@@ -132,7 +134,7 @@ def summarize_trace(trace) -> TraceSummary:
     """Compute the headline statistics of a reference stream."""
     pages = _as_page_list(trace, 1)
     if not pages:
-        raise ValueError("empty trace")
+        raise AnalysisError("empty trace")
     histogram = reuse_distance_histogram(pages)
     huge_histogram = reuse_distance_histogram(pages, granularity_pages=512)
     distinct = len(set(pages))
@@ -151,7 +153,7 @@ def summarize_trace(trace) -> TraceSummary:
 def footprint_curve(trace, windows: int = 20) -> list[int]:
     """Distinct pages touched in each of ``windows`` equal trace slices."""
     if windows < 1:
-        raise ValueError("windows must be >= 1")
+        raise AnalysisError("windows must be >= 1")
     pages = np.asarray(trace)
     bounds = np.linspace(0, len(pages), windows + 1, dtype=int)
     return [
@@ -178,7 +180,7 @@ def summarize_by_region(trace, regions: dict[str, object]) -> dict[str, dict]:
     pages = np.asarray(trace)
     total = len(pages)
     if total == 0:
-        raise ValueError("empty trace")
+        raise AnalysisError("empty trace")
     out: dict[str, dict] = {}
     matched = 0
     for name, region in regions.items():

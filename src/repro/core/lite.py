@@ -27,7 +27,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from ..errors import ConfigurationError, SimulationError
+from ..errors import ConfigurationError, SimulationError, UsageError
 from ..stateful import require, rng_state_from_json, rng_state_to_json
 from .counters import LRUDistanceCounters
 from .params import LiteParams
@@ -52,7 +52,7 @@ class ResizableUnit:
             self._setter = tlb.set_active_entries
             self._getter = lambda: tlb.active_entries
         else:
-            raise TypeError(f"{tlb!r} is not resizable")
+            raise UsageError(f"{tlb!r} is not resizable")
         if self.max_units & (self.max_units - 1):
             raise ConfigurationError(
                 f"{tlb.name}: capacity {self.max_units} not a power of two"

@@ -29,7 +29,7 @@ from ..energy.cacti import (
     page_tlb_params,
 )
 from ..energy.model import EnergyBinding
-from ..errors import UnknownConfigError
+from ..errors import ConfigurationError, UnknownConfigError
 from ..mem.paging import DemandPaging, EagerPaging, PagingPolicy, TransparentHugePaging
 from ..mem.process import Process
 from ..mmu.mmu_cache import MMUCache
@@ -253,7 +253,7 @@ def build_rmm(process: Process, params: HierarchyParams | None = None) -> Organi
     """RMM: THP hierarchy + 32-entry fully-associative L2-range TLB."""
     params = params or HierarchyParams()
     if len(process.range_table) == 0:
-        raise ValueError("RMM needs an eager-paged process (empty range table)")
+        raise ConfigurationError("RMM needs an eager-paged process (empty range table)")
     hierarchy = TLBHierarchy(
         _paged_l1_slots(params),
         _l2_page_tlb(params),
@@ -287,7 +287,7 @@ def build_tlb_pp(process: Process, params: HierarchyParams | None = None) -> Org
     huge_chunks = set()
     for translation in process.page_table.iter_translations():
         if translation.page_size is PageSize.SIZE_1GB:
-            raise ValueError("TLB_PP models 4KB and 2MB pages only")
+            raise ConfigurationError("TLB_PP models 4KB and 2MB pages only")
         if translation.page_size is PageSize.SIZE_2MB:
             huge_chunks.add(translation.vpn >> 9)
     l1_mixed = SetAssociativeTLB("L1-mixed", params.l1_4kb.entries, params.l1_4kb.ways)
@@ -325,7 +325,7 @@ def build_rmm_lite(
     """
     params = params or HierarchyParams()
     if len(process.range_table) == 0:
-        raise ValueError("RMM_Lite needs an eager-paged process (empty range table)")
+        raise ConfigurationError("RMM_Lite needs an eager-paged process (empty range table)")
     l1_4kb = SetAssociativeTLB("L1-4KB", params.l1_4kb.entries, params.l1_4kb.ways)
     hierarchy = TLBHierarchy(
         [L1Slot(l1_4kb, PageSize.SIZE_4KB)],
@@ -405,7 +405,7 @@ def build_rmm_pp_lite(
     """
     params = params or HierarchyParams()
     if len(process.range_table) == 0:
-        raise ValueError("RMM_PP_Lite needs an eager-paged process")
+        raise ConfigurationError("RMM_PP_Lite needs an eager-paged process")
     huge_chunks = set()
     for translation in process.page_table.iter_translations():
         if translation.page_size is PageSize.SIZE_2MB:
@@ -509,7 +509,7 @@ def build_tlb_pred(
     huge_chunks = set()
     for translation in process.page_table.iter_translations():
         if translation.page_size is PageSize.SIZE_1GB:
-            raise ValueError("TLB_Pred models 4KB and 2MB pages only")
+            raise ConfigurationError("TLB_Pred models 4KB and 2MB pages only")
         if translation.page_size is PageSize.SIZE_2MB:
             huge_chunks.add(translation.vpn >> 9)
     l1_mixed = SetAssociativeTLB("L1-mixed", params.l1_4kb.entries, params.l1_4kb.ways)

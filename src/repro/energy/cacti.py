@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ConfigurationError
+
 
 @dataclass(frozen=True, slots=True)
 class EnergyParams:
@@ -155,5 +157,5 @@ def lite_resized_params(full: EnergyParams, fraction: float) -> EnergyParams:
     consistent with :func:`fully_assoc_params`.
     """
     if not 0.0 < fraction <= 1.0:
-        raise ValueError("fraction must be in (0, 1]")
+        raise ConfigurationError("fraction must be in (0, 1]")
     return full.scaled(fraction**0.7)

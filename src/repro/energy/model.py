@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..errors import ConfigurationError
 from ..tlb.base import TLBStats
 from .cacti import L1_CACHE, L2_CACHE_READ_PJ, EnergyParams
 
@@ -84,7 +85,7 @@ class EnergyModel:
         l2_cache_read_pj: float = L2_CACHE_READ_PJ,
     ) -> None:
         if not 0.0 <= walk_l1_hit_ratio <= 1.0:
-            raise ValueError("walk_l1_hit_ratio must be in [0, 1]")
+            raise ConfigurationError("walk_l1_hit_ratio must be in [0, 1]")
         self.walk_l1_hit_ratio = walk_l1_hit_ratio
         self.l1_cache_read_pj = l1_cache_read_pj
         self.l2_cache_read_pj = l2_cache_read_pj

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from ..errors import ConfigurationError
+
 if TYPE_CHECKING:  # pragma: no cover - avoid energy <-> core import cycle
     from ..core.organizations import Organization
     from ..core.stats import SimulationResult
@@ -39,7 +41,7 @@ class StaticEnergyModel:
     def execution_seconds(self, result: "SimulationResult") -> float:
         """Wall time of the measured window: compute + TLB-miss cycles."""
         if self.frequency_ghz <= 0 or self.ipc <= 0:
-            raise ValueError("frequency and IPC must be positive")
+            raise ConfigurationError("frequency and IPC must be positive")
         cycles = result.instructions / self.ipc + result.miss_cycles
         return cycles / (self.frequency_ghz * 1e9)
 

@@ -44,7 +44,16 @@ by *kind* instead of string-matching messages:
     version, checksum mismatch, geometry mismatch on load).
 ``AddressSpaceError``
     The OS memory substrate (page tables, allocators, processes) was
-    asked to perform an invalid operation.
+    asked to perform an invalid operation.  ``MappingLookupError``
+    additionally derives from :class:`KeyError` for unmap misses.
+``AnalysisError``
+    Post-processing (trace statistics, normalization, reports) was
+    given unusable inputs.
+``WorkloadError``
+    A synthetic workload was configured with invalid parameters.
+``UsageError``
+    An API was called on an object that does not support it; derives
+    from :class:`TypeError`.
 ``TranslationError`` / ``TranslationDomainError``
     Invalid translation objects, and translate() calls outside a
     mapping's covered interval.
@@ -148,6 +157,47 @@ class AddressSpaceError(ReproError, ValueError):
     misaligned frees), and process-level operations on pages of the wrong
     kind.  Double-derives from :class:`ValueError` because those sites
     historically raised ``ValueError``.
+    """
+
+
+class MappingLookupError(AddressSpaceError, KeyError):
+    """An unmap/teardown referenced a mapping that is not present.
+
+    Double-derives from :class:`KeyError` (the historical behaviour of
+    ``AddressSpace.munmap``); ``str()`` renders the message instead of
+    :class:`KeyError`'s repr-of-args.
+    """
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class AnalysisError(ReproError, ValueError):
+    """Post-processing was asked to summarize unusable inputs.
+
+    Raised by the ``analysis`` package (trace statistics, normalization,
+    report rendering) on empty or mismatched result collections.
+    Double-derives from :class:`ValueError` because those sites
+    historically raised ``ValueError``.
+    """
+
+
+class WorkloadError(ReproError, ValueError):
+    """A synthetic workload was configured with invalid parameters.
+
+    Covers bad region geometry, non-positive footprints, mixture weights
+    that do not form a distribution, and duplicate registry names.
+    Double-derives from :class:`ValueError` for pre-taxonomy callers.
+    """
+
+
+class UsageError(ReproError, TypeError):
+    """An API was called on an object that does not support it.
+
+    E.g. wrapping a non-resizable TLB in a ``ResizableUnit`` or calling
+    ``trace()`` on a trace-file workload that can only replay saved
+    traces.  Double-derives from :class:`TypeError` (the historical
+    behaviour at those sites).
     """
 
 

@@ -1,8 +1,12 @@
 """Ratchet baseline: pre-existing findings tolerated, new ones fatal.
 
 The baseline file (``.reprolint-baseline.json``) stores fingerprints —
-``(rule, path, message)`` with an occurrence count — not line numbers,
-so it survives unrelated edits to the same file.  ``--strict`` mode
+``(rule, scope, message)`` with an occurrence count — not line numbers,
+so it survives unrelated edits to the same file.  The scope (persisted
+under the historical ``path`` key) is the repo-relative path for
+file-phase findings and the fully qualified symbol (e.g.
+``repro.core.lite.LiteController``) for project-phase findings, which
+therefore survive relocating the package or linting from another root.  ``--strict`` mode
 fails only on findings *not* covered by the baseline; fixing a baselined
 finding never breaks the build (the ratchet only tightens when
 ``--update-baseline`` rewrites the file).

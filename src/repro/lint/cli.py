@@ -12,12 +12,21 @@ default
     Apply the baseline; fail only on new findings.  This is what CI runs.
 ``--update-baseline``
     Rewrite the baseline from the current findings and exit 0.
+``--changed``
+    Git-aware fast path: analyse the whole package (the project rules
+    need the whole program) but report only findings in files the
+    working tree changed relative to ``--changed-base`` (default HEAD).
+``--explain RLxxx``
+    Print the rule's full documentation (what it pins, how to fix) and
+    exit.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -68,10 +77,95 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="comma-separated rule ids to run (default: all)",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RLXXX",
+        default=None,
+        help="print a rule's documentation and exit",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="report only findings in files changed vs --changed-base "
+        "(the whole package is still analysed)",
+    )
+    parser.add_argument(
+        "--changed-base",
+        default="HEAD",
+        help="git revision --changed diffs against (default: HEAD)",
+    )
+
+
+def explain_rule(rule_id: str) -> int:
+    """Print one rule's documentation; exit 2 for unknown ids."""
+    rules = {rule.rule_id: rule for rule in default_rules()}
+    rule = rules.get(rule_id.strip().upper())
+    if rule is None:
+        print(
+            f"unknown rule id: {rule_id} (known: {', '.join(sorted(rules))})",
+            file=sys.stderr,
+        )
+        return 2
+    doc = inspect.cleandoc(type(rule).__doc__ or "(undocumented)")
+    print(f"{rule.rule_id} — {rule.title} [{rule.severity.label()}]")
+    print()
+    print(doc)
+    if rule.hint:
+        print()
+        print(f"fix: {rule.hint}")
+    return 0
+
+
+def changed_report_paths(base: str) -> set[str] | None:
+    """Repo-relative posix paths of files changed vs ``base``.
+
+    Returns ``None`` (meaning: report everything) when git is
+    unavailable or the revision cannot be diffed — the fast path
+    degrades to the full report rather than hiding findings.
+    """
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base, "--"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+        toplevel = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    root = Path(toplevel.stdout.strip())
+    cwd = Path.cwd().resolve()
+    paths: set[str] = set()
+    for line in diff.stdout.splitlines() + untracked.stdout.splitlines():
+        if not line.strip():
+            continue
+        # git paths are toplevel-relative; findings are cwd-relative.
+        absolute = (root / line.strip()).resolve()
+        try:
+            paths.add(absolute.relative_to(cwd).as_posix())
+        except ValueError:
+            paths.add(absolute.as_posix())
+    return paths
 
 
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a lint run described by parsed arguments."""
+    if getattr(args, "explain", None):
+        return explain_rule(args.explain)
     rules = default_rules()
     if args.rules:
         wanted = {rule_id.strip().upper() for rule_id in args.rules.split(",")}
@@ -87,8 +181,11 @@ def run_lint(args: argparse.Namespace) -> int:
         rules = [rule for rule in rules if rule.rule_id in wanted]
 
     paths = args.paths or [default_lint_path()]
+    report_paths = None
+    if getattr(args, "changed", False):
+        report_paths = changed_report_paths(args.changed_base)
     manager = PassManager(rules)
-    findings = manager.lint_paths(paths, Path.cwd())
+    findings = manager.lint_paths(paths, Path.cwd(), report_paths=report_paths)
 
     if args.update_baseline:
         Baseline.from_findings(findings).save(args.baseline)

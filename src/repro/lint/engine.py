@@ -1,10 +1,19 @@
-"""Pass manager: one ``ast.parse`` sweep per file, every rule per sweep.
+"""Two-phase pass manager: per-file visitors, then whole-program rules.
 
 The framework mirrors classic compiler-pass collections (one cheap
 visitor per invariant, all driven off a shared parse) rather than a
-general dataflow engine — the contracts being enforced are syntactic
+general dataflow engine — most contracts being enforced are syntactic
 enough that a single AST walk per rule is exact, fast, and easy to
 extend.
+
+Phase 1 parses every file once into a :class:`FileContext` and runs the
+per-file rules (RL001–RL006, RL010) over each.  Phase 2 assembles all
+the parsed contexts into a :class:`repro.lint.project.ProjectContext`
+(module/symbol index, class table with resolved bases and per-class
+attribute-write sets, call graph) and runs the :class:`ProjectRule`
+passes (RL007–RL009) on top of it — the contracts those pin (checkpoint
+coverage, interprocedural purity, process-boundary safety) span files
+and inheritance chains, so no single-file visitor can see them.
 
 ``FileContext`` carries everything a rule may need: the parsed tree, the
 raw source lines (for suppression comments), the repo-relative path, and
@@ -50,11 +59,15 @@ class FileContext:
     def _parse_suppressions(self) -> dict[int, set[str]]:
         """Map line number -> rule ids disabled there.
 
-        A suppression comment covers its own line; a *standalone* comment
-        line also covers the following line, so violations can be
-        annotated either inline or on the line above.
+        A suppression comment covers the *whole statement* it is attached
+        to: its own physical line, every line of a multi-line simple
+        statement, and — for ``def``/``class`` — the decorator lines and
+        the header (signature) lines, but never the body.  A *standalone*
+        comment line covers the statement starting on the following line
+        (or just the following line when no statement starts there).
         """
-        suppressed: dict[int, set[str]] = {}
+        raw: dict[int, set[str]] = {}
+        standalone: set[int] = set()
         for number, text in enumerate(self.lines, start=1):
             match = _SUPPRESS_RE.search(text)
             if not match:
@@ -64,10 +77,49 @@ class FileContext:
                 for token in match.group(1).split(",")
                 if token.strip()
             }
-            suppressed.setdefault(number, set()).update(rules)
+            raw.setdefault(number, set()).update(rules)
             if text.lstrip().startswith("#"):
-                suppressed.setdefault(number + 1, set()).update(rules)
+                standalone.add(number)
+        suppressed: dict[int, set[str]] = {
+            number: set(rules) for number, rules in raw.items()
+        }
+        if not raw:
+            return suppressed
+        for number in standalone:
+            suppressed.setdefault(number + 1, set()).update(raw[number])
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            start, end = self._statement_span(node)
+            active: set[str] = set()
+            for line in range(start, end + 1):
+                active |= raw.get(line, set())
+            if start - 1 in standalone:
+                active |= raw[start - 1]
+            if active:
+                for line in range(start, end + 1):
+                    suppressed.setdefault(line, set()).update(active)
         return suppressed
+
+    @staticmethod
+    def _statement_span(node: ast.stmt) -> tuple[int, int]:
+        """Line range a suppression on ``node`` covers.
+
+        Simple statements cover their full extent; compound statements
+        (``def``, ``class``, ``if``, ...) cover decorators plus the
+        header only, so a disable on a ``def`` line does not blanket the
+        entire body.
+        """
+        start = node.lineno
+        decorators = getattr(node, "decorator_list", None) or []
+        if decorators:
+            start = min(start, min(d.lineno for d in decorators))
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = max(start, body[0].lineno - 1)
+        else:
+            end = max(start, node.end_lineno or start)
+        return start, end
 
     def is_suppressed(self, rule: str, line: int) -> bool:
         rules = self.suppressions.get(line)
@@ -120,7 +172,12 @@ class LintRule:
         raise NotImplementedError
 
     def finding(
-        self, ctx: FileContext, node: ast.AST, message: str, hint: str | None = None
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        hint: str | None = None,
+        symbol: str = "",
     ) -> Finding:
         return Finding(
             rule=self.rule_id,
@@ -130,11 +187,37 @@ class LintRule:
             column=getattr(node, "col_offset", 0) + 1,
             message=message,
             hint=self.hint if hint is None else hint,
+            symbol=symbol,
         )
 
 
+class ProjectRule(LintRule):
+    """A phase-2 rule: runs once over the whole-program context.
+
+    Subclasses implement :meth:`check_project`; the per-file
+    :meth:`check` is a no-op so project rules can share the registry with
+    file rules.  Findings should carry the qualified ``symbol`` they are
+    about (via :meth:`LintRule.finding`'s ``symbol`` argument) so the
+    baseline keys them by symbol rather than by file.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings over a :class:`repro.lint.project.ProjectContext`."""
+        raise NotImplementedError
+
+
 class PassManager:
-    """Runs a rule set over files, applying inline suppressions."""
+    """Runs a rule set over files in two phases, applying suppressions.
+
+    Phase 1 parses every file and runs the per-file rules; phase 2 builds
+    one :class:`~repro.lint.project.ProjectContext` from all parsed files
+    and runs the :class:`ProjectRule` set over it.  Inline suppressions
+    apply uniformly: a project finding anchored at a class's definition
+    line is silenced by a ``# reprolint: disable=`` on that line.
+    """
 
     def __init__(self, rules: Iterable[LintRule]) -> None:
         self.rules = list(rules)
@@ -146,8 +229,17 @@ class PassManager:
         #: files the manager could not parse, as (relpath, error) pairs.
         self.parse_failures: list[tuple[str, str]] = []
 
+    @property
+    def file_rules(self) -> list[LintRule]:
+        return [r for r in self.rules if not isinstance(r, ProjectRule)]
+
+    @property
+    def project_rules(self) -> list[LintRule]:
+        return [r for r in self.rules if isinstance(r, ProjectRule)]
+
     # ------------------------------------------------------------------
-    def lint_file(self, path: Path, root: Path) -> list[Finding]:
+    def parse_file(self, path: Path, root: Path) -> FileContext | None:
+        """Parse one file into a context; record (not raise) failures."""
         try:
             relpath = path.resolve().relative_to(root.resolve()).as_posix()
         except ValueError:
@@ -155,22 +247,65 @@ class PassManager:
         try:
             with tokenize.open(path) as handle:  # honours PEP 263 encodings
                 source = handle.read()
-            ctx = FileContext(path, relpath, source)
+            return FileContext(path, relpath, source)
         except (SyntaxError, UnicodeDecodeError, OSError) as error:
             self.parse_failures.append((relpath, f"{type(error).__name__}: {error}"))
+            return None
+
+    def lint_file(self, path: Path, root: Path) -> list[Finding]:
+        """Phase-1 only convenience: per-file rules over a single file."""
+        ctx = self.parse_file(path, root)
+        if ctx is None:
             return []
         findings: list[Finding] = []
-        for rule in self.rules:
+        for rule in self.file_rules:
             for finding in rule.check(ctx):
                 if not ctx.is_suppressed(finding.rule, finding.line):
                     findings.append(finding)
         return findings
 
-    def lint_paths(self, paths: Iterable[Path], root: Path) -> list[Finding]:
-        findings: list[Finding] = []
+    def lint_paths(
+        self,
+        paths: Iterable[Path],
+        root: Path,
+        report_paths: set[str] | None = None,
+    ) -> list[Finding]:
+        """Run both phases over ``paths``.
+
+        ``report_paths`` (repo-relative posix paths) restricts which
+        files findings are *reported* for without restricting which files
+        are *analysed* — the ``--changed`` fast path: whole-program rules
+        still see the whole program, the report only covers the diff.
+        """
+        contexts: list[FileContext] = []
         for path in paths:
             for file in iter_python_files(path):
-                findings.extend(self.lint_file(file, root))
+                ctx = self.parse_file(file, root)
+                if ctx is not None:
+                    contexts.append(ctx)
+        findings: list[Finding] = []
+        file_rules = self.file_rules
+        for ctx in contexts:
+            for rule in file_rules:
+                for finding in rule.check(ctx):
+                    if not ctx.is_suppressed(finding.rule, finding.line):
+                        findings.append(finding)
+        project_rules = self.project_rules
+        if project_rules:
+            from .project import ProjectContext  # late: project imports engine
+
+            project = ProjectContext(contexts)
+            by_path = {ctx.relpath: ctx for ctx in contexts}
+            for rule in project_rules:
+                for finding in rule.check_project(project):
+                    ctx = by_path.get(finding.path)
+                    if ctx is not None and ctx.is_suppressed(
+                        finding.rule, finding.line
+                    ):
+                        continue
+                    findings.append(finding)
+        if report_paths is not None:
+            findings = [f for f in findings if f.path in report_paths]
         return sort_findings(findings)
 
 
@@ -191,6 +326,7 @@ def lint_paths(
     paths: Iterable[Path | str],
     rules: Iterable[LintRule] | None = None,
     root: Path | str | None = None,
+    report_paths: set[str] | None = None,
 ) -> list[Finding]:
     """Convenience wrapper: lint ``paths`` with ``rules`` (default: all).
 
@@ -201,5 +337,7 @@ def lint_paths(
 
     manager = PassManager(default_rules() if rules is None else rules)
     return manager.lint_paths(
-        [Path(p) for p in paths], Path(root) if root is not None else Path.cwd()
+        [Path(p) for p in paths],
+        Path(root) if root is not None else Path.cwd(),
+        report_paths=report_paths,
     )

@@ -5,6 +5,14 @@ Findings are deliberately line-number-*carrying* but line-number-
 baseline is ``(rule, path, message)``, so unrelated edits that shift a
 file's lines do not invalidate a baselined finding, while changing the
 offending code (which changes the message's embedded context) does.
+
+Project-phase findings (whole-program rules, RL007+) additionally carry
+the fully qualified ``symbol`` they are about (e.g.
+``repro.tlb.set_assoc.SetAssociativeTLB``).  For those, the fingerprint
+substitutes the symbol for the path, so the baseline survives relocating
+the package on disk or linting from a different root (where every
+path-keyed entry would go stale), while renaming the class or moving it
+to another module — a new contract surface — correctly invalidates it.
 """
 
 from __future__ import annotations
@@ -39,11 +47,18 @@ class Finding:
     column: int
     message: str
     hint: str = ""
+    symbol: str = ""
     baselined: bool = field(default=False, compare=False)
 
     def fingerprint(self) -> tuple[str, str, str]:
-        """Identity for baseline matching (line numbers excluded)."""
-        return (self.rule, self.path, self.message)
+        """Identity for baseline matching (line numbers excluded).
+
+        File-scoped findings key on their path; project-scoped findings
+        (``symbol`` set) key on the qualified symbol instead, so they
+        survive relocating the package on disk or linting from another
+        root.
+        """
+        return (self.rule, self.symbol or self.path, self.message)
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.column}"
@@ -65,6 +80,7 @@ class Finding:
             "column": self.column,
             "message": self.message,
             "hint": self.hint,
+            "symbol": self.symbol,
             "baselined": self.baselined,
         }
 

@@ -1,4 +1,4 @@
-"""The six reprolint rules (RL001–RL006).
+"""The per-file reprolint rules (RL001–RL006).
 
 Each rule is one AST visitor pinning one contract the runtime
 InvariantAuditor can only check after the fact.  The rules are grounded
@@ -6,6 +6,10 @@ in hazards this repo actually had: the PageTable VPN-wraparound bug was
 found by fault injection, unthreaded RNGs hid in ``mem/process.py``, and
 the energy model silently under-counts if a structure's counters bypass
 ``TLBStats``.
+
+The whole-program rules (RL007–RL010) live in
+:mod:`repro.lint.rules_project`; :func:`default_rules` registers both
+sets.
 """
 
 from __future__ import annotations
@@ -285,6 +289,33 @@ _HOT_METHODS = frozenset({"access", "lookup", "fill", "insert"})
 _HOT_ALLOC_CALLS = frozenset({"sorted", "list", "dict", "set", "tuple", "deepcopy"})
 
 
+def iter_purity_violations(func: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """Yield ``(node, description)`` for every purity violation in ``func``.
+
+    Shared by RL003 (direct hot methods) and RL008 (helpers reached from
+    hot methods); the caller formats the location context around the
+    description.
+    """
+    for node in ast.walk(func):
+        if isinstance(node, ast.ExceptHandler):
+            caught = dotted_name(node.type) if node.type is not None else None
+            if node.type is None or caught in ("Exception", "BaseException"):
+                label = caught or "bare except"
+                yield node, f"broad exception handler ({label})"
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            yield node, f"allocation-heavy {type(node).__name__}"
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            head = name.split(".", 1)[0]
+            leaf = name.rsplit(".", 1)[-1]
+            if name == "print" or head in ("logging", "logger", "log"):
+                yield node, f"logging/printing ({name})"
+            elif leaf in _HOT_ALLOC_CALLS and "." not in name:
+                yield node, f"allocation-heavy call ({name}())"
+
+
 class HotPathPurityRule(LintRule):
     """RL003: the per-access fast path stays allocation- and I/O-free.
 
@@ -314,41 +345,8 @@ class HotPathPurityRule(LintRule):
 
     def _check_body(self, ctx: FileContext, func: ast.FunctionDef) -> Iterator[Finding]:
         where = ctx.qualified_context(func)
-        for node in ast.walk(func):
-            if isinstance(node, ast.ExceptHandler):
-                caught = dotted_name(node.type) if node.type is not None else None
-                if node.type is None or caught in ("Exception", "BaseException"):
-                    label = caught or "bare except"
-                    yield self.finding(
-                        ctx,
-                        node,
-                        f"broad exception handler ({label}) in hot path {where}",
-                    )
-            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
-                kind = type(node).__name__
-                yield self.finding(
-                    ctx,
-                    node,
-                    f"allocation-heavy {kind} in hot path {where}",
-                )
-            elif isinstance(node, ast.Call):
-                name = dotted_name(node.func)
-                if name is None:
-                    continue
-                head = name.split(".", 1)[0]
-                leaf = name.rsplit(".", 1)[-1]
-                if name == "print" or head in ("logging", "logger", "log"):
-                    yield self.finding(
-                        ctx,
-                        node,
-                        f"logging/printing ({name}) in hot path {where}",
-                    )
-                elif leaf in _HOT_ALLOC_CALLS and "." not in name:
-                    yield self.finding(
-                        ctx,
-                        node,
-                        f"allocation-heavy call ({name}()) in hot path {where}",
-                    )
+        for node, description in iter_purity_violations(func):
+            yield self.finding(ctx, node, f"{description} in hot path {where}")
 
 
 # ---------------------------------------------------------------------------
@@ -544,5 +542,12 @@ ALL_RULES: tuple[type[LintRule], ...] = (
 
 
 def default_rules() -> list[LintRule]:
-    """Fresh instances of every registered rule, in id order."""
-    return [rule() for rule in ALL_RULES]
+    """Fresh instances of every registered rule, in id order.
+
+    Includes the whole-program rules (RL007–RL010) from
+    :mod:`repro.lint.rules_project`; imported late because that module
+    needs the shared helpers defined here.
+    """
+    from .rules_project import PROJECT_RULES
+
+    return [rule() for rule in ALL_RULES + PROJECT_RULES]

@@ -1,0 +1,582 @@
+"""The whole-program reprolint rules (RL007–RL010).
+
+RL007–RL009 are :class:`~repro.lint.engine.ProjectRule` passes over the
+phase-1 :class:`~repro.lint.project.ProjectContext`; RL010 is a plain
+file rule that ships with this batch because it completes the exception-
+taxonomy work RL002 started.
+
+These rules pin the two contracts PRs 4 and 6 left hand-maintained:
+
+* a component's ``state_dict()``/``load_state_dict()`` must cover every
+  mutable attribute (RL007) — the "added a counter, forgot the
+  checkpoint" bug that otherwise only ``bisect-divergence`` catches,
+  hours later, at runtime;
+* everything crossing the supervisor's process boundary must be
+  picklable (RL009) — a lambda in a task payload dies inside
+  ``ctx.Process`` with an error pointing at multiprocessing internals,
+  not at the call site.
+
+RL008 extends RL003's hot-path purity one level of honesty further: an
+allocation can't hide by moving one frame down into a helper.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import FileContext, LintRule, ProjectRule
+from .findings import Finding, Severity
+from .project import (
+    ClassInfo,
+    FunctionInfo,
+    ProjectContext,
+    _is_abstract,
+    dotted_name,
+    self_attribute_of,
+)
+from .rules import _HOT_METHODS, iter_purity_violations
+
+# ---------------------------------------------------------------------------
+# RL007 — checkpoint coverage
+# ---------------------------------------------------------------------------
+
+#: methods whose ``self.*`` writes do *not* make an attribute "mutable
+#: state" — construction and the checkpoint protocol itself.
+_CONSTRUCTION_METHODS = frozenset(
+    {"__init__", "__post_init__", "__new__", "state_dict", "load_state_dict"}
+)
+
+
+def _chain_functions(
+    cls: ClassInfo, method: str
+) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Transitive closure of ``method`` plus the self-methods it calls.
+
+    Starts from *every* MRO definition of ``method`` (so ``super()``
+    chains are covered) and follows ``self.helper()`` calls, resolving
+    each helper against the analysed class's MRO — dynamic dispatch, so
+    ``BaseHierarchy.state_dict`` calling ``self.all_structures()`` picks
+    up each subclass's own override.
+    """
+    queue = [func for _, func in cls.method_chain(method)]
+    seen: set[int] = {id(func) for func in queue}
+    closure: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+    while queue:
+        func = queue.pop()
+        closure.append(func)
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if not (
+                isinstance(node.func.value, ast.Name) and node.func.value.id == "self"
+            ):
+                continue
+            resolved = cls.resolve_method(node.func.attr)
+            if resolved is not None and id(resolved[1]) not in seen:
+                seen.add(id(resolved[1]))
+                queue.append(resolved[1])
+    return closure
+
+
+def _attrs_read(functions: list[ast.AST]) -> set[str]:
+    """Every ``self.X`` attribute touched anywhere in ``functions``."""
+    read: set[str] = set()
+    for func in functions:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                if node.value.id == "self":
+                    read.add(node.attr)
+    return read
+
+
+def _attrs_restored(functions: list[ast.AST]) -> set[str]:
+    """Attributes assigned or mutated-through in a load chain.
+
+    Covers ``self.x = ...``, tuple unpacking, ``self.x[...] = ...``,
+    ``self.x += ...``, and call-receiver restores like
+    ``self.stats.load_state_dict(...)`` or ``self.raw.extend(...)``.
+    """
+    restored: set[str] = set()
+
+    def add_target(target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                add_target(element)
+            return
+        if isinstance(target, ast.Starred):
+            add_target(target.value)
+            return
+        attr = self_attribute_of(target)
+        if attr is not None:
+            restored.add(attr)
+
+    for func in functions:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    add_target(target)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                add_target(node.target)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                attr = self_attribute_of(node.func.value)
+                if attr is not None:
+                    restored.add(attr)
+    return restored
+
+
+def _keys_produced(functions: list[ast.AST]) -> set[str]:
+    """Constant string keys the state-dict side emits.
+
+    Dict literals (``{"sets": ...}``) and subscript stores
+    (``state["sets"] = ...``) both count, at any nesting depth.
+    """
+    keys: set[str] = set()
+    for func in functions:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        keys.add(key.value)
+            elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Store):
+                index = node.slice
+                if isinstance(index, ast.Constant) and isinstance(index.value, str):
+                    keys.add(index.value)
+            elif isinstance(node, ast.Call):
+                # dict(sets=..., ways=...)
+                name = dotted_name(node.func)
+                if name == "dict":
+                    keys.update(kw.arg for kw in node.keywords if kw.arg)
+    return keys
+
+
+def _keys_consumed(functions: list[ast.AST]) -> set[str]:
+    """Constant string keys the load side reads (``state["k"]``, ``.get("k")``)."""
+    keys: set[str] = set()
+    for func in functions:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+                index = node.slice
+                if isinstance(index, ast.Constant) and isinstance(index.value, str):
+                    keys.add(index.value)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in ("get", "pop") and node.args:
+                    first = node.args[0]
+                    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                        keys.add(first.value)
+    return keys
+
+
+class CheckpointCoverageRule(ProjectRule):
+    """RL007: ``state_dict``/``load_state_dict`` cover every mutable attr.
+
+    For every class implementing the ``repro.stateful`` protocol (both
+    methods resolvable along its MRO, neither abstract), the rule
+    computes the class's *mutable surface* — each ``self.*`` attribute
+    written outside construction and outside the protocol methods
+    themselves, over the whole inheritance chain — and demands that the
+    ``state_dict`` call chain reads it and the ``load_state_dict`` chain
+    writes it back.  It also demands the two chains agree on the literal
+    checkpoint keys, so a key emitted but never restored (or vice versa)
+    is flagged even when the attribute checks pass.
+
+    Serialization through helpers is followed (``self.all_structures()``
+    indirection, ``super().state_dict()`` chains, codec methods), so the
+    blessed idioms in ``tlb/set_assoc.py`` and ``core/hierarchy.py``
+    lint clean without suppressions.
+
+    *Derived* caches — attributes deterministically rebuilt from primary
+    state inside ``load_state_dict`` (a free-frame count, a bisect
+    index) — are declared via a class-level ``_CHECKPOINT_DERIVED =
+    ("_attr", ...)`` tuple: the rule then exempts them from the
+    serialize-side check but still requires the load chain to rebuild
+    them, so a declaration can't silently rot.
+    """
+
+    rule_id = "RL007"
+    title = "checkpoint coverage"
+    severity = Severity.ERROR
+    hint = "serialize the attribute in state_dict() and restore it in load_state_dict()"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for cls in project.classes.values():
+            yield from self._check_class(cls)
+
+    def _check_class(self, cls: ClassInfo) -> Iterator[Finding]:
+        sd = cls.resolve_method("state_dict")
+        ld = cls.resolve_method("load_state_dict")
+        if sd is None or ld is None:
+            return
+        if _is_abstract(sd[1]) or _is_abstract(ld[1]):
+            return
+        sd_chain = _chain_functions(cls, "state_dict")
+        ld_chain = _chain_functions(cls, "load_state_dict")
+        read = _attrs_read(sd_chain)
+        restored = _attrs_restored(ld_chain) | _attrs_read(ld_chain)
+
+        mutable: dict[str, list[str]] = {}
+        for attr, writers in sorted(cls.attribute_writes(include_bases=True).items()):
+            outside = sorted(
+                writer
+                for writer in writers
+                if writer.rsplit(".", 1)[-1] not in _CONSTRUCTION_METHODS
+            )
+            if outside:
+                mutable[attr] = outside
+
+        derived: set[str] = set()
+        for ancestor in cls.mro():
+            derived |= ancestor.derived_attrs
+
+        ctx = cls.module.ctx
+        for attr, writers in mutable.items():
+            where = ", ".join(writers[:3])
+            if attr not in read and attr not in derived:
+                yield self.finding(
+                    ctx,
+                    cls.node,
+                    f"state_dict() of {cls.name} never reads mutable "
+                    f"attribute {attr!r} (written in {where})",
+                    symbol=cls.qualname,
+                )
+            if attr not in restored:
+                yield self.finding(
+                    ctx,
+                    cls.node,
+                    f"load_state_dict() of {cls.name} never restores mutable "
+                    f"attribute {attr!r} (written in {where})",
+                    symbol=cls.qualname,
+                )
+
+        produced = _keys_produced(sd_chain)
+        consumed = _keys_consumed(ld_chain)
+        if produced and consumed:
+            for key in sorted(produced - consumed):
+                yield self.finding(
+                    ctx,
+                    cls.node,
+                    f"checkpoint key {key!r} produced by {cls.name}.state_dict() "
+                    "is never consumed by load_state_dict()",
+                    symbol=cls.qualname,
+                )
+            for key in sorted(consumed - produced):
+                yield self.finding(
+                    ctx,
+                    cls.node,
+                    f"checkpoint key {key!r} consumed by {cls.name}."
+                    "load_state_dict() is never produced by state_dict()",
+                    symbol=cls.qualname,
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL008 — interprocedural hot-path purity
+# ---------------------------------------------------------------------------
+
+
+class InterproceduralPurityRule(ProjectRule):
+    """RL008: helpers reached from the hot path obey RL003's purity rules.
+
+    RL003 checks ``access``/``lookup``/``fill``/``insert`` bodies
+    directly; this rule walks the call graph out of those methods —
+    through ``self.helper()``, module functions, ``self.attr.method()``
+    dispatch, ``functools.partial`` and callback references — and runs
+    the same body checks on every reachable helper.  Callees that are
+    themselves hot-named are skipped (RL003 already owns them), so each
+    violation is reported exactly once.
+    """
+
+    rule_id = "RL008"
+    title = "interprocedural hot-path purity"
+    severity = Severity.ERROR
+    hint = "hoist work out of the helper or out of the per-access path"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        reported: set[tuple[int, int]] = set()
+        for cls in project.classes.values():
+            for name, func in cls.methods.items():
+                if name not in _HOT_METHODS:
+                    continue
+                root = f"{cls.name}.{name}"
+                yield from self._walk(project, func, root, reported)
+
+    def _walk(
+        self,
+        project: ProjectContext,
+        entry: ast.FunctionDef | ast.AsyncFunctionDef,
+        root: str,
+        reported: set[tuple[int, int]],
+    ) -> Iterator[Finding]:
+        queue: list[FunctionInfo] = []
+        seen: set[int] = {id(entry)}
+        for edge in project.callees(entry):
+            queue.append(edge.target)
+        while queue:
+            helper = queue.pop()
+            if id(helper.node) in seen:
+                continue
+            seen.add(id(helper.node))
+            if helper.name in _HOT_METHODS:
+                continue  # RL003's territory
+            ctx = helper.module.ctx
+            for node, description in iter_purity_violations(helper.node):
+                key = (id(helper.node), getattr(node, "lineno", 0))
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{description} in {helper.name}() reached from hot path {root}",
+                    symbol=helper.qualname,
+                )
+            for edge in project.callees(helper.node):
+                if id(edge.target.node) not in seen:
+                    queue.append(edge.target)
+
+
+# ---------------------------------------------------------------------------
+# RL009 — process-boundary safety
+# ---------------------------------------------------------------------------
+
+#: thread-synchronization constructors that cannot cross a pickle boundary.
+_THREADING_PRIMITIVES = frozenset(
+    {"Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore", "Barrier"}
+)
+
+#: receiver-name fragments that mark a pipe/queue send.
+_CHANNEL_FRAGMENTS = ("conn", "queue", "pipe", "chan")
+
+
+def _returns_mp_context(func: ast.AST) -> bool:
+    """Does ``func`` return ``multiprocessing.get_context(...)``?"""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Call):
+            name = dotted_name(node.value.func) or ""
+            if name.rsplit(".", 1)[-1] == "get_context":
+                return True
+    return False
+
+
+class ProcessSafetyRule(ProjectRule):
+    """RL009: no unpicklable values cross the supervisor process boundary.
+
+    Payloads handed to ``multiprocessing`` — ``Process(target=...,
+    args=...)`` spawns (including through contexts obtained from
+    ``get_context()``), ``conn.send(...)`` / ``queue.put(...)``, and
+    pool ``submit``/``apply_async`` — are pickled in the parent and
+    unpickled in the child.  Lambdas, generator expressions, open file
+    handles, thread locks, and functions nested inside another function
+    all fail that pickling at runtime, with a traceback pointing into
+    multiprocessing internals rather than at the call site.  The repo's
+    own simulator ``Process`` class (``mem/process.py``) is recognised
+    via import resolution and exempt.
+    """
+
+    rule_id = "RL009"
+    title = "process-boundary safety"
+    severity = Severity.ERROR
+    hint = "pass module-level functions and plain data; open resources inside the worker"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for module in project.modules.values():
+            ctx = module.ctx
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                # Only top-of-nesting functions: nested defs are walked as
+                # part of their parent (locals resolve there).
+                if ctx.enclosing_function(node) is not None:
+                    continue
+                yield from self._check_function(project, module, ctx, node)
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self,
+        project: ProjectContext,
+        module,
+        ctx: FileContext,
+        func: ast.AST,
+    ) -> Iterator[Finding]:
+        locals_: dict[str, ast.AST] = {}
+        nested: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
+                nested.add(node.name)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    locals_[target.id] = node.value
+        where = ctx.qualified_context(func)
+        symbol = f"{module.name}.{where}" if module.name else where
+
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            payloads = self._boundary_payloads(project, module, node, locals_)
+            if payloads is None:
+                continue
+            for payload in payloads:
+                for bad, label in self._unpicklables(
+                    ctx, payload, locals_, nested
+                ):
+                    yield self.finding(
+                        ctx,
+                        bad,
+                        f"unpicklable {label} crosses the process boundary "
+                        f"in {where}",
+                        symbol=symbol,
+                    )
+
+    def _boundary_payloads(
+        self,
+        project: ProjectContext,
+        module,
+        call: ast.Call,
+        locals_: dict[str, ast.AST],
+    ) -> list[ast.AST] | None:
+        """The expressions pickled by ``call``, or None if not a boundary."""
+        func = call.func
+        name = dotted_name(func) or ""
+        leaf = name.rsplit(".", 1)[-1]
+        arguments = list(call.args) + [kw.value for kw in call.keywords]
+        if leaf == "Process" and self._is_mp_process(project, module, name, locals_):
+            return arguments
+        if leaf in ("submit", "apply_async", "map", "starmap") and isinstance(
+            func, ast.Attribute
+        ):
+            base = dotted_name(func.value) or ""
+            if any(frag in base.lower() for frag in ("pool", "executor")):
+                return arguments
+        if leaf in ("send", "put", "put_nowait") and isinstance(func, ast.Attribute):
+            base = dotted_name(func.value) or ""
+            if any(frag in base.lower() for frag in _CHANNEL_FRAGMENTS):
+                return arguments
+        return None
+
+    def _is_mp_process(
+        self,
+        project: ProjectContext,
+        module,
+        name: str,
+        locals_: dict[str, ast.AST],
+    ) -> bool:
+        """Is ``name`` (ending in ``.Process``/``Process``) multiprocessing's?"""
+        head = name.split(".", 1)[0]
+        if "." not in name:
+            # Bare ``Process(...)`` — check the import provenance; the
+            # repo's own simulator Process resolves to a project class.
+            target = module.imports.get(head, "")
+            if target.startswith("multiprocessing"):
+                return True
+            resolved = project.resolve_local(module, head)
+            return resolved is None and target == ""  # unknown origin: skip
+        if head in ("multiprocessing", "mp"):
+            return True
+        # ``ctx.Process(...)`` — trace the local through get_context().
+        value = locals_.get(head)
+        if isinstance(value, ast.Call):
+            value_name = dotted_name(value.func) or ""
+            if value_name.rsplit(".", 1)[-1] == "get_context":
+                return True
+            resolved = project.resolve_local(module, value_name)
+            if isinstance(resolved, FunctionInfo) and _returns_mp_context(resolved.node):
+                return True
+        return False
+
+    def _unpicklables(
+        self,
+        ctx: FileContext,
+        payload: ast.AST,
+        locals_: dict[str, ast.AST],
+        nested: set[str],
+        _depth: int = 0,
+    ) -> Iterator[tuple[ast.AST, str]]:
+        """Yield ``(node, label)`` for unpicklable values inside ``payload``."""
+        for node in ast.walk(payload):
+            if isinstance(node, ast.Lambda):
+                yield node, "lambda"
+            elif isinstance(node, ast.GeneratorExp):
+                yield node, "generator expression"
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func) or ""
+                leaf = name.rsplit(".", 1)[-1]
+                if name == "open":
+                    yield node, "open file handle"
+                elif leaf in _THREADING_PRIMITIVES and (
+                    name.startswith("threading.") or name == leaf
+                ):
+                    # bare names only count when imported from threading —
+                    # handled via the one-level local resolution below, so
+                    # require the dotted form here to stay conservative.
+                    if name.startswith("threading."):
+                        yield node, f"threading.{leaf}"
+            elif isinstance(node, ast.Name) and _depth == 0:
+                if node.id in nested:
+                    yield node, f"nested function {node.id!r} (closure)"
+                elif node.id in locals_:
+                    # one level of local resolution: x = lambda ...; send(x)
+                    yield from self._unpicklables(
+                        ctx, locals_[node.id], locals_, nested, _depth=1
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RL010 — exception chaining
+# ---------------------------------------------------------------------------
+
+
+class ExceptionChainingRule(LintRule):
+    """RL010: re-raises inside ``except`` blocks chain their cause.
+
+    ``raise NewError(...)`` inside an ``except Old as err:`` block
+    without ``from err`` severs the causal chain: the sweep supervisor's
+    quarantine records and the CLI's error rendering both lose the
+    original traceback.  Bare ``raise`` and re-raising a caught
+    exception object are exempt, as is the deliberate ``from None``.
+    """
+
+    rule_id = "RL010"
+    title = "exception chaining"
+    severity = Severity.WARNING
+    hint = "re-raise with `raise NewError(...) from err` (or `from None` to suppress)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            if node.exc is None or node.cause is not None:
+                continue
+            if not isinstance(node.exc, ast.Call):
+                continue  # `raise err` re-raises the object itself
+            if self._enclosing_handler(ctx, node) is None:
+                continue
+            name = dotted_name(node.exc.func) or "<exception>"
+            yield self.finding(
+                ctx,
+                node,
+                f"raise {name}(...) inside an except block without `from` in "
+                f"{ctx.qualified_context(node)}",
+            )
+
+    @staticmethod
+    def _enclosing_handler(ctx: FileContext, node: ast.AST) -> ast.ExceptHandler | None:
+        """Nearest except handler, without crossing a function boundary."""
+        current = ctx.parent(node)
+        while current is not None:
+            if isinstance(current, ast.ExceptHandler):
+                return current
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return None
+            current = ctx.parent(current)
+        return None
+
+
+# ---------------------------------------------------------------------------
+
+PROJECT_RULES: tuple[type[LintRule], ...] = (
+    CheckpointCoverageRule,
+    InterproceduralPurityRule,
+    ProcessSafetyRule,
+    ExceptionChainingRule,
+)

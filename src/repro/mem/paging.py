@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING
 
+from ..errors import AddressSpaceError
 from ..mmu.translation import PAGES_PER_2MB, PageSize, RangeTranslation, Translation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -103,7 +104,7 @@ class TransparentHugePaging(PagingPolicy):
 
     def __init__(self, coverage: float = 1.0, seed: int = 0) -> None:
         if not 0.0 <= coverage <= 1.0:
-            raise ValueError("coverage must be in [0, 1]")
+            raise AddressSpaceError("coverage must be in [0, 1]")
         self.coverage = coverage
         self._rng = random.Random(seed)
 
@@ -138,12 +139,12 @@ class HugeTLBFSPaging(PagingPolicy):
 
     def __init__(self, page_size: PageSize = PageSize.SIZE_1GB) -> None:
         if page_size is PageSize.SIZE_4KB:
-            raise ValueError("use DemandPaging for 4 KB mappings")
+            raise AddressSpaceError("use DemandPaging for 4 KB mappings")
         self.page_size = page_size
 
     def populate(self, process: "Process", vma: "VMA") -> None:
         if vma.start_vpn % int(self.page_size) != 0:
-            raise ValueError(
+            raise AddressSpaceError(
                 f"{vma} not aligned to {self.page_size.label()} "
                 f"(mmap with alignment={int(self.page_size)})"
             )
@@ -184,9 +185,9 @@ class EagerPaging(PagingPolicy):
 
     def __init__(self, page_layout: str = "thp", min_range_pages: int = 64) -> None:
         if page_layout not in ("thp", "4kb"):
-            raise ValueError("page_layout must be 'thp' or '4kb'")
+            raise AddressSpaceError("page_layout must be 'thp' or '4kb'")
         if min_range_pages < 1:
-            raise ValueError("min_range_pages must be >= 1")
+            raise AddressSpaceError("min_range_pages must be >= 1")
         self.page_layout = page_layout
         self.min_range_pages = min_range_pages
 

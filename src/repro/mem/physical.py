@@ -54,6 +54,9 @@ class PhysicalMemory:
         Seed for the scatter pool's shuffle (single-frame allocations).
     """
 
+    # Free-frame count is rebuilt from the serialized free lists on load.
+    _CHECKPOINT_DERIVED = ("_frames_free",)
+
     def __init__(self, total_bytes: int = 32 << 30, seed: int = 0) -> None:
         if total_bytes <= 0 or total_bytes % 4096 != 0:
             raise AddressSpaceError("total_bytes must be a positive multiple of 4096")

@@ -30,6 +30,9 @@ class RangeTableError(Exception):
 class RangeTable:
     """Sorted, non-overlapping collection of range translations."""
 
+    # Bisect index is rebuilt from the serialized ranges on load.
+    _CHECKPOINT_DERIVED = ("_starts",)
+
     def __init__(self) -> None:
         self._ranges: list[RangeTranslation] = []
         self._starts: list[int] = []

@@ -12,6 +12,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 
+from ..errors import AddressSpaceError, MappingLookupError
 from ..mmu.translation import PAGES_PER_2MB
 
 
@@ -26,9 +27,9 @@ class VMA:
 
     def __post_init__(self) -> None:
         if self.num_pages <= 0:
-            raise ValueError("VMA must cover at least one page")
+            raise AddressSpaceError("VMA must cover at least one page")
         if self.start_vpn < 0:
-            raise ValueError("VMA start must be non-negative")
+            raise AddressSpaceError("VMA start must be non-negative")
 
     @property
     def end_vpn(self) -> int:
@@ -92,7 +93,7 @@ class AddressSpace:
         index = bisect.bisect_left(self._starts, vma.start_vpn)
         for neighbour in self._vmas[max(index - 1, 0) : index + 1]:
             if neighbour.overlaps(vma):
-                raise ValueError(f"{vma} overlaps existing {neighbour}")
+                raise AddressSpaceError(f"{vma} overlaps existing {neighbour}")
         self._vmas.insert(index, vma)
         self._starts.insert(index, vma.start_vpn)
         return vma
@@ -101,7 +102,7 @@ class AddressSpace:
         """Remove a VMA (mappings must be torn down by the caller)."""
         index = bisect.bisect_left(self._starts, vma.start_vpn)
         if index >= len(self._vmas) or self._vmas[index] != vma:
-            raise KeyError(f"{vma} not in address space")
+            raise MappingLookupError(f"{vma} not in address space")
         del self._vmas[index]
         del self._starts[index]
 

@@ -79,6 +79,9 @@ _LEAF_LEVEL = {
 class PageTable:
     """A per-process four-level page table."""
 
+    # Mapped-page total is rebuilt by re-mapping the serialized leaves.
+    _CHECKPOINT_DERIVED = ("_mapped_pages_4k",)
+
     def __init__(self) -> None:
         self.root = PageTableNode(level=4)
         self._mapped_pages_4k = 0  # total 4 KB-page equivalents mapped

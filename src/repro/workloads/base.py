@@ -17,6 +17,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..errors import WorkloadError
 from ..mem.paging import PagingPolicy
 from ..mem.physical import PhysicalMemory
 from ..mem.process import Process
@@ -70,7 +71,7 @@ class Workload:
         description: str = "",
     ) -> None:
         if not vma_specs:
-            raise ValueError("workload needs at least one VMA")
+            raise WorkloadError("workload needs at least one VMA")
         self.name = name
         self.suite = suite
         self.vma_specs = list(vma_specs)
@@ -111,7 +112,7 @@ class Workload:
     def trace(self, num_accesses: int, seed: int = 0) -> np.ndarray:
         """Generate the reference stream (int64 vpn array)."""
         if num_accesses <= 0:
-            raise ValueError("num_accesses must be positive")
+            raise WorkloadError("num_accesses must be positive")
         rng = np.random.default_rng(seed)
         pattern = self.pattern_factory(self.regions())
         trace = pattern.generate(rng, num_accesses)

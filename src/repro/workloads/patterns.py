@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import WorkloadError
+
 
 @dataclass(frozen=True, slots=True)
 class Region:
@@ -30,7 +32,7 @@ class Region:
 
     def __post_init__(self) -> None:
         if self.num_pages <= 0:
-            raise ValueError("region must cover at least one page")
+            raise WorkloadError("region must cover at least one page")
 
     @property
     def end_vpn(self) -> int:
@@ -39,7 +41,7 @@ class Region:
     def subregion(self, offset_pages: int, num_pages: int) -> "Region":
         """A window inside this region (for hot subsets and phases)."""
         if offset_pages < 0 or offset_pages + num_pages > self.num_pages:
-            raise ValueError("subregion outside parent region")
+            raise WorkloadError("subregion outside parent region")
         return Region(self.start_vpn + offset_pages, num_pages)
 
 
@@ -73,7 +75,7 @@ class SequentialScan(AccessPattern):
 
     def __init__(self, region: Region, stride_pages: int = 1, burst: int = 8) -> None:
         if stride_pages < 1 or burst < 1:
-            raise ValueError("stride_pages and burst must be >= 1")
+            raise WorkloadError("stride_pages and burst must be >= 1")
         self.region = region
         self.stride_pages = stride_pages
         self.burst = burst
@@ -97,7 +99,7 @@ class ShuffledScan(AccessPattern):
 
     def __init__(self, region: Region, burst: int = 2) -> None:
         if burst < 1:
-            raise ValueError("burst must be >= 1")
+            raise WorkloadError("burst must be >= 1")
         self.region = region
         self.burst = burst
 
@@ -114,7 +116,7 @@ class UniformRandom(AccessPattern):
 
     def __init__(self, region: Region, burst: int = 1) -> None:
         if burst < 1:
-            raise ValueError("burst must be >= 1")
+            raise WorkloadError("burst must be >= 1")
         self.region = region
         self.burst = burst
 
@@ -136,9 +138,9 @@ class Zipf(AccessPattern):
 
     def __init__(self, region: Region, alpha: float = 1.0, burst: int = 2) -> None:
         if alpha < 0:
-            raise ValueError("alpha must be non-negative")
+            raise WorkloadError("alpha must be non-negative")
         if burst < 1:
-            raise ValueError("burst must be >= 1")
+            raise WorkloadError("burst must be >= 1")
         self.region = region
         self.alpha = alpha
         self.burst = burst
@@ -176,10 +178,10 @@ class StridedSet(AccessPattern):
         self, region: Region, num_pages: int = 256, stride_pages: int = 93, burst: int = 3
     ) -> None:
         if num_pages < 1 or stride_pages < 1 or burst < 1:
-            raise ValueError("num_pages, stride_pages, and burst must be >= 1")
+            raise WorkloadError("num_pages, stride_pages, and burst must be >= 1")
         span = (num_pages - 1) * stride_pages + 1
         if span > region.num_pages:
-            raise ValueError(
+            raise WorkloadError(
                 f"strided set spans {span} pages but region has {region.num_pages}"
             )
         self.region = region
@@ -203,10 +205,10 @@ class Mixture(AccessPattern):
 
     def __init__(self, components: list[tuple[AccessPattern, float]]) -> None:
         if not components:
-            raise ValueError("mixture needs at least one component")
+            raise WorkloadError("mixture needs at least one component")
         total = sum(weight for _, weight in components)
         if total <= 0:
-            raise ValueError("mixture weights must sum to a positive value")
+            raise WorkloadError("mixture weights must sum to a positive value")
         self.patterns = [pattern for pattern, _ in components]
         self.weights = np.array([weight / total for _, weight in components])
 
@@ -233,10 +235,10 @@ class Phased(AccessPattern):
 
     def __init__(self, phases: list[tuple[AccessPattern, float]]) -> None:
         if not phases:
-            raise ValueError("need at least one phase")
+            raise WorkloadError("need at least one phase")
         total = sum(fraction for _, fraction in phases)
         if total <= 0:
-            raise ValueError("phase fractions must sum to a positive value")
+            raise WorkloadError("phase fractions must sum to a positive value")
         self.phases = [(pattern, fraction / total) for pattern, fraction in phases]
 
     def generate(self, rng: np.random.Generator, n: int) -> np.ndarray:
@@ -263,7 +265,7 @@ class RepeatingPhases(AccessPattern):
 
     def __init__(self, phases: list[tuple[AccessPattern, float]], repeats: int) -> None:
         if repeats < 1:
-            raise ValueError("repeats must be >= 1")
+            raise WorkloadError("repeats must be >= 1")
         self._schedule = Phased(phases)
         self.repeats = repeats
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..errors import UnknownWorkloadError
+from ..errors import UnknownWorkloadError, WorkloadError
 from .base import Workload
 from .secondary import parsec_other_workloads, spec_other_workloads
 from .benchmarks import TLB_INTENSIVE_BUILDERS
@@ -15,7 +15,7 @@ def _build_all() -> dict[str, Workload]:
         workloads[workload.name] = workload
     for workload in spec_other_workloads() + parsec_other_workloads():
         if workload.name in workloads:
-            raise ValueError(f"duplicate workload name {workload.name!r}")
+            raise WorkloadError(f"duplicate workload name {workload.name!r}")
         workloads[workload.name] = workload
     return workloads
 

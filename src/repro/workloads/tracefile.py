@@ -16,7 +16,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..errors import TraceError, TraceIOError
+from ..errors import TraceError, TraceIOError, UsageError
 
 FORMAT_VERSION = 1
 
@@ -194,7 +194,7 @@ def workload_from_metadata(metadata: TraceMetadata):
             return process
 
         def trace(self, num_accesses, seed=0):
-            raise TypeError(
+            raise UsageError(
                 "trace-file workloads replay saved traces; use load_trace()"
             )
 

@@ -1,0 +1,92 @@
+"""RL007 fixture: checkpoint-coverage violations (never imported)."""
+
+
+class LeakyCounter:
+    """Mutable attribute ``total`` is missing from both protocol sides."""
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+
+    def bump(self):
+        self.count += 1
+        self.total += 1
+
+    def state_dict(self):
+        return {"count": self.count}
+
+    def load_state_dict(self, state):
+        self.count = state["count"]
+
+
+class KeyDrift:
+    """Key sets of the two protocol sides disagree."""
+
+    def __init__(self):
+        self.a = 0
+        self.b = 0
+
+    def tick(self):
+        self.a += 1
+        self.b += 1
+
+    def state_dict(self):
+        return {"a": self.a, "b": self.b, "epoch": 1}
+
+    def load_state_dict(self, state):
+        self.a = state["a"]
+        self.b = state["b"]
+        self.stamp = state["format"]
+
+
+class ForgottenRestore:
+    """Serialized but never written back on load."""
+
+    def __init__(self):
+        self.hits = 0
+
+    def record(self):
+        self.hits += 1
+
+    def state_dict(self):
+        return {"hits": self.hits}
+
+    def load_state_dict(self, state):
+        _ = state["hits"]
+
+
+class CleanRoundTrip:
+    """Compliant: every mutable attribute round-trips symmetrically."""
+
+    def __init__(self):
+        self.entries = []
+
+    def fill_entry(self, value):
+        self.entries.append(value)
+
+    def state_dict(self):
+        return {"entries": list(self.entries)}
+
+    def load_state_dict(self, state):
+        self.entries = list(state["entries"])
+
+
+class DerivedCache:
+    """Compliant: a declared derived cache rebuilt on load."""
+
+    _CHECKPOINT_DERIVED = ("_total",)
+
+    def __init__(self):
+        self.values = []
+        self._total = 0
+
+    def push(self, value):
+        self.values.append(value)
+        self._total += value
+
+    def state_dict(self):
+        return {"values": list(self.values)}
+
+    def load_state_dict(self, state):
+        self.values = list(state["values"])
+        self._total = sum(self.values)

@@ -1,0 +1,46 @@
+"""RL008 fixture: impurity hiding one frame below a hot method."""
+
+import functools
+
+
+def _module_helper(entries):
+    # allocation-heavy call inside a helper reached from lookup()
+    return sorted(entries)
+
+
+def _logged_helper(value):
+    print(value)  # I/O reached from the hot path
+    return value
+
+
+class HidingTLB:
+    def __init__(self):
+        self.entries = []
+
+    def lookup(self, vpn):
+        return self._pick(vpn)
+
+    def access(self, vpn):
+        return _module_helper(self.entries)
+
+    def fill(self, vpn):
+        handler = functools.partial(_logged_helper, vpn)
+        return handler()
+
+    def _pick(self, vpn):
+        # comprehension one frame below lookup()
+        candidates = [entry for entry in self.entries if entry == vpn]
+        return candidates[0] if candidates else None
+
+
+class CleanTLB:
+    """Compliant: the helper does constant-time work only."""
+
+    def __init__(self):
+        self.entries = {}
+
+    def lookup(self, vpn):
+        return self._probe(vpn)
+
+    def _probe(self, vpn):
+        return self.entries.get(vpn)

@@ -1,0 +1,43 @@
+"""RL009 fixture: unpicklable payloads crossing process boundaries."""
+
+import multiprocessing
+import threading
+
+
+def _worker(task):
+    return task
+
+
+def spawn_with_lambda():
+    process = multiprocessing.Process(target=_worker, args=(lambda: 1,))
+    process.start()
+
+
+def spawn_through_context():
+    ctx = multiprocessing.get_context("spawn")
+    process = ctx.Process(target=_worker, args=(open("/tmp/x"),))
+    process.start()
+
+
+def send_generator(result_conn):
+    result_conn.send((value for value in range(4)))
+
+
+def send_lock(task_queue):
+    task_queue.put(threading.Lock())
+
+
+def spawn_nested_closure():
+    state = []
+
+    def closure_worker():
+        state.append(1)
+
+    process = multiprocessing.Process(target=closure_worker)
+    process.start()
+
+
+def clean_spawn(payload):
+    """Compliant: module-level target, plain-data args."""
+    process = multiprocessing.Process(target=_worker, args=(payload,))
+    process.start()

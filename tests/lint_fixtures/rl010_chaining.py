@@ -1,0 +1,45 @@
+"""RL010 fixture: re-raises inside except blocks without ``from``."""
+
+
+class FixtureError(Exception):
+    pass
+
+
+def unchained_reraise(path):
+    try:
+        return open(path).read()
+    except OSError:
+        raise FixtureError(f"cannot read {path}")
+
+
+def unchained_nested(value):
+    try:
+        return int(value)
+    except ValueError as err:
+        if value:
+            raise FixtureError("bad value")
+        raise err
+
+
+def chained_ok(path):
+    """Compliant: the cause is threaded through."""
+    try:
+        return open(path).read()
+    except OSError as err:
+        raise FixtureError(f"cannot read {path}") from err
+
+
+def suppressed_ok(value):
+    """Compliant: deliberate context suppression."""
+    try:
+        return int(value)
+    except ValueError:
+        raise FixtureError("bad value") from None
+
+
+def bare_reraise_ok(value):
+    """Compliant: bare raise re-raises the active exception."""
+    try:
+        return int(value)
+    except ValueError:
+        raise

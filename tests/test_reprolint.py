@@ -29,6 +29,10 @@ RULE_FIXTURES = {
     "RL004": ("rl004_stats.py", 2),
     "RL005": ("rl005_pow2.py", 2),
     "RL006": ("rl006_mutable_default.py", 3),
+    "RL007": ("rl007_checkpoint.py", 5),
+    "RL008": ("rl008_interproc.py", 3),
+    "RL009": ("rl009_process.py", 5),
+    "RL010": ("rl010_chaining.py", 2),
 }
 
 
@@ -125,6 +129,51 @@ class TestSuppression:
             "    return values\n"
         )
         assert lint_file(source, root=tmp_path) == []
+
+    def test_disable_on_decorator_line_covers_the_def(self, tmp_path):
+        source = tmp_path / "s.py"
+        source.write_text(
+            "def deco(fn):\n"
+            "    return fn\n"
+            "\n"
+            "@deco  # reprolint: disable=RL006\n"
+            "def bad(values=[]):\n"
+            "    return values\n"
+        )
+        assert lint_file(source, root=tmp_path) == []
+
+    def test_disable_above_multiline_statement_covers_all_lines(self, tmp_path):
+        source = tmp_path / "s.py"
+        source.write_text(
+            "import time\n"
+            "# reprolint: disable=RL001\n"
+            "seed = (\n"
+            "    time.time()\n"
+            ")\n"
+        )
+        assert lint_file(source, root=tmp_path) == []
+
+    def test_disable_on_multiline_signature_covers_the_header(self, tmp_path):
+        source = tmp_path / "s.py"
+        source.write_text(
+            "def bad(  # reprolint: disable=RL006\n"
+            "    values=[],\n"
+            "):\n"
+            "    return values\n"
+        )
+        assert lint_file(source, root=tmp_path) == []
+
+    def test_disable_on_def_does_not_blanket_the_body(self, tmp_path):
+        source = tmp_path / "s.py"
+        source.write_text(
+            "def outer(values=[]):  # reprolint: disable=RL006\n"
+            "    def inner(more=[]):\n"
+            "        return more\n"
+            "    return values, inner\n"
+        )
+        findings = lint_file(source, root=tmp_path)
+        assert [f.rule for f in findings] == ["RL006"]
+        assert findings[0].line == 2
 
 
 # ---------------------------------------------------------------------------
