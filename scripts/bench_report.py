@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Measure simulator throughput and write ``BENCH_throughput.json``.
+
+Runs the same (trace × configuration × engine) matrix as
+``benchmarks/bench_throughput.py`` — without the pytest-benchmark
+harness, so it can run anywhere — and records per-cell accesses/second
+plus the fast/reference speedup per (trace, configuration).  The JSON
+artifact is the before/after evidence behind ``docs/performance.md``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py
+        [--accesses N] [--rounds K] [--output BENCH_throughput.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_throughput import CONFIGS, TRACES, bench_workload  # noqa: E402
+
+from repro.analysis.experiments import ExperimentSettings  # noqa: E402
+from repro.core.fastpath import ENGINES  # noqa: E402
+from repro.core.organizations import (  # noqa: E402
+    build_organization,
+    paging_policy_for,
+)
+from repro.core.simulator import Simulator  # noqa: E402
+from repro.mem.physical import PhysicalMemory  # noqa: E402
+
+
+def current_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def measure(workload, trace, config: str, engine: str, accesses: int, rounds: int) -> float:
+    """Best-of-``rounds`` accesses/second for one cell (fresh build each)."""
+    settings = ExperimentSettings(trace_accesses=accesses)
+    best = 0.0
+    for _ in range(rounds):
+        process = workload.build_process(
+            paging_policy_for(config), PhysicalMemory(settings.physical_bytes, seed=1)
+        )
+        organization = build_organization(config, process)
+        simulator = Simulator(
+            organization,
+            instructions_per_access=workload.instructions_per_access,
+            engine=engine,
+        )
+        start = time.perf_counter()
+        result = simulator.run(trace, fast_forward_accesses=0)
+        elapsed = time.perf_counter() - start
+        assert result.accesses == accesses
+        best = max(best, accesses / elapsed)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--accesses", type=int, default=60_000)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_throughput.json"
+    )
+    args = parser.parse_args()
+
+    rows = []
+    speedups: dict[str, dict[str, float]] = {}
+    for trace_name in TRACES:
+        workload = bench_workload(trace_name)
+        trace = workload.trace(args.accesses, seed=1)
+        rates: dict[str, dict[str, float]] = {}
+        for config in CONFIGS:
+            rates[config] = {}
+            for engine in ENGINES:
+                rate = measure(
+                    workload, trace, config, engine, args.accesses, args.rounds
+                )
+                rates[config][engine] = rate
+                rows.append(
+                    {
+                        "trace": trace_name,
+                        "config": config,
+                        "engine": engine,
+                        "accesses_per_second": round(rate),
+                    }
+                )
+                print(f"{trace_name:8s} {config:9s} {engine:9s} {rate:>12,.0f} acc/s")
+        speedups[trace_name] = {
+            config: round(rates[config]["fast"] / rates[config]["reference"], 2)
+            for config in CONFIGS
+        }
+        for config in CONFIGS:
+            print(f"{trace_name:8s} {config:9s} speedup   {speedups[trace_name][config]:>11.2f}x")
+
+    payload = {
+        "commit": current_commit(),
+        "accesses": args.accesses,
+        "rounds": args.rounds,
+        "generated_by": "scripts/bench_report.py",
+        "rows": rows,
+        "speedups": speedups,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

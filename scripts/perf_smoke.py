@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate for the streak-coalescing fast engine.
+
+Two checks, both required:
+
+1. **Differential equivalence** — every TLB organization runs under both
+   engines with per-component state digests recorded at every interval
+   boundary; any result mismatch or digest divergence (localized via
+   :mod:`repro.resilience.bisect`) fails the gate.
+2. **Throughput floor** — a reduced run over the long-streak ``stream``
+   bench trace; the fast engine must stay at least ``--min-speedup``
+   (default 1.5x, far below the ~5-8x a quiet machine measures, so CI
+   jitter does not flake) above the reference engine on 4KB and THP.
+
+Exit 0 when both hold, 1 otherwise.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_smoke.py
+        [--accesses N] [--bench-accesses N] [--min-speedup R]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_throughput import stream_workload  # noqa: E402
+
+from repro.analysis.experiments import ExperimentSettings  # noqa: E402
+from repro.core.organizations import (  # noqa: E402
+    EXTENDED_CONFIG_NAMES,
+    build_organization,
+    paging_policy_for,
+)
+from repro.core.simulator import Simulator  # noqa: E402
+from repro.mem.physical import PhysicalMemory  # noqa: E402
+from repro.resilience.bisect import (  # noqa: E402
+    bisect_divergence,
+    describe_divergence,
+    record_digest_trail,
+)
+from repro.workloads.base import VMASpec, Workload  # noqa: E402
+from repro.workloads.patterns import Zipf  # noqa: E402
+
+GATED_CONFIGS = ("4KB", "THP")
+
+
+def smoke_workload() -> Workload:
+    return Workload(
+        "perf-smoke",
+        "TEST",
+        [VMASpec("heap", 6), VMASpec("stack", 1, thp_eligible=False)],
+        lambda regions: Zipf(regions["heap"].subregion(0, 24), alpha=1.1, burst=3),
+        instructions_per_access=3.0,
+    )
+
+
+def check_equivalence(accesses: int) -> bool:
+    """All configurations: identical results + per-boundary digests."""
+    settings = ExperimentSettings(
+        trace_accesses=accesses, seed=5, physical_bytes=1 << 28
+    )
+    workload = smoke_workload()
+    ok = True
+    for config in EXTENDED_CONFIG_NAMES:
+        reference = record_digest_trail(workload, config, settings)
+        fast = record_digest_trail(workload, config, settings, engine="fast")
+        divergence = bisect_divergence(reference.trail, fast.trail)
+        if divergence is not None:
+            print(f"FAIL {config}: {describe_divergence(divergence)}")
+            ok = False
+        elif fast.result != reference.result:
+            print(f"FAIL {config}: results differ with identical digests")
+            ok = False
+        else:
+            print(f"ok   {config}: {reference.boundaries} boundaries byte-identical")
+    return ok
+
+
+def throughput(workload, trace, config: str, engine: str, accesses: int) -> float:
+    settings = ExperimentSettings(trace_accesses=accesses)
+    process = workload.build_process(
+        paging_policy_for(config), PhysicalMemory(settings.physical_bytes, seed=1)
+    )
+    organization = build_organization(config, process)
+    simulator = Simulator(
+        organization,
+        instructions_per_access=workload.instructions_per_access,
+        engine=engine,
+    )
+    start = time.perf_counter()
+    simulator.run(trace, fast_forward_accesses=0)
+    return accesses / (time.perf_counter() - start)
+
+
+def check_speedup(accesses: int, min_speedup: float) -> bool:
+    """Fast engine must beat reference by ``min_speedup`` on 4KB/THP."""
+    workload = stream_workload()
+    trace = workload.trace(accesses, seed=1)
+    ok = True
+    for config in GATED_CONFIGS:
+        # Best of two rounds per engine smooths one-off scheduler stalls.
+        reference = max(
+            throughput(workload, trace, config, "reference", accesses) for _ in range(2)
+        )
+        fast = max(
+            throughput(workload, trace, config, "fast", accesses) for _ in range(2)
+        )
+        ratio = fast / reference
+        verdict = "ok  " if ratio >= min_speedup else "FAIL"
+        if ratio < min_speedup:
+            ok = False
+        print(
+            f"{verdict} {config}: fast {fast:,.0f} acc/s vs reference "
+            f"{reference:,.0f} acc/s ({ratio:.2f}x, floor {min_speedup}x)"
+        )
+    return ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--accesses", type=int, default=6_000)
+    parser.add_argument("--bench-accesses", type=int, default=60_000)
+    parser.add_argument("--min-speedup", type=float, default=1.5)
+    args = parser.parse_args()
+
+    print(f"[1/2] differential equivalence ({len(EXTENDED_CONFIG_NAMES)} configs, "
+          f"{args.accesses} accesses, digests at every boundary)")
+    equivalent = check_equivalence(args.accesses)
+    print(f"[2/2] throughput gate (stream trace, {args.bench_accesses} accesses)")
+    fast_enough = check_speedup(args.bench_accesses, args.min_speedup)
+    if equivalent and fast_enough:
+        print("perf-smoke: ok")
+        return 0
+    print("perf-smoke: FAILED")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -113,6 +113,7 @@ def prepare_run(
     record_history: bool = False,
     auditor=None,
     on_fault: str = "raise",
+    engine: str = "reference",
 ) -> PreparedRun:
     """Build the process, organization, trace, and simulator for one cell."""
     settings = settings or ExperimentSettings()
@@ -136,6 +137,7 @@ def prepare_run(
         energy_model=energy_model,
         auditor=auditor,
         on_fault=on_fault,
+        engine=engine,
     )
     return PreparedRun(
         workload=workload,

@@ -195,6 +195,25 @@ class TLBHierarchy(BaseHierarchy):
         self.range_attributed_hits = 0
 
     # ------------------------------------------------------------------
+    def drain_shape(self) -> tuple[int, bool, bool]:
+        """Probe-path shape: (active slots, L1-range live, L2-range live).
+
+        The streak-coalescing engine (:mod:`repro.core.fastpath`)
+        specializes its drain loop to this shape and must stop and
+        re-specialize whenever an access changes it (a walk enabling a
+        new L1 slot, a fill latching a range TLB).  Everything else the
+        specialized loop touches is mutated strictly in place — per-set
+        recency lists, range recency stacks, and Lite's raw counter
+        lists keep their identity across fills, resizes, and flushes —
+        so the shape triple is the only regeneration trigger.
+        """
+        return (
+            len(self._active_slots),
+            self._l1_range_active is not None,
+            self._l2_range_active is not None,
+        )
+
+    # ------------------------------------------------------------------
     def access(self, vpn: int) -> None:
         """Translate one memory reference, updating all statistics."""
         self.accesses += 1

@@ -90,6 +90,18 @@ class LiteStats:
     random_reactivations: int = 0
     degradation_reactivations: int = 0
 
+    def record_interval(self, action: str) -> None:
+        """Count one finished interval by the action the controller took."""
+        self.intervals += 1
+        if action == "random-reactivate":
+            self.random_reactivations += 1
+        elif action == "degradation-reactivate":
+            self.degradation_reactivations += 1
+
+    def record_downsize(self) -> None:
+        """Count one unit shrunk by the decision algorithm."""
+        self.downsizes += 1
+
     def state_dict(self) -> dict:
         """Pure-JSON counters (checkpoint protocol)."""
         return {
@@ -140,19 +152,17 @@ class LiteController:
         if self._rng.random() < params.reactivate_probability:
             action = "random-reactivate"
             self._activate_all()
-            self.stats.random_reactivations += 1
         elif (
             self.previous_mpki is not None
             and actual_mpki > params.threshold(self.previous_mpki)
         ):
             action = "degradation-reactivate"
             self._activate_all()
-            self.stats.degradation_reactivations += 1
         else:
             action = "decide"
             for unit in self.units:
                 self._decide(unit, actual_mpki, instructions)
-        self.stats.intervals += 1
+        self.stats.record_interval(action)
         self.previous_mpki = actual_mpki
         for counters in self.counters.values():
             counters.reset()
@@ -191,7 +201,7 @@ class LiteController:
             chosen = candidate
             candidate //= 2
         if chosen != unit.active_units:
-            self.stats.downsizes += 1
+            self.stats.record_downsize()
             unit.resize(chosen)
 
     # ------------------------------------------------------------------

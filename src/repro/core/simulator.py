@@ -23,6 +23,7 @@ from ..energy.model import EnergyModel
 from ..energy.performance import miss_cycles
 from ..errors import CheckpointError, SimulationError
 from ..mmu.page_table import PageFault
+from .fastpath import ENGINES, FastEngine
 from .hierarchy import ConfigurationError
 from .organizations import Organization
 from .params import SimulationParams
@@ -48,6 +49,14 @@ class Simulator:
     :class:`repro.resilience.auditor.InvariantAuditor`): the accounting
     identities are verified at every timeline-sample boundary and once
     more on the finished result.
+
+    ``engine`` selects the drain-loop implementation: ``"reference"``
+    (default) iterates the trace through ``hierarchy.access``;
+    ``"fast"`` uses the streak-coalescing engine
+    (:mod:`repro.core.fastpath`), which produces byte-identical results
+    and state digests at every boundary.  Fault-tolerant runs
+    (``on_fault="record"``) always use the reference loop — per-access
+    fault attribution is incompatible with coalescing.
     """
 
     def __init__(
@@ -60,12 +69,17 @@ class Simulator:
         on_fault: str = "raise",
         auditor=None,
         max_fault_records: int = 256,
+        engine: str = "reference",
     ) -> None:
         if instructions_per_access <= 0:
             raise SimulationError("instructions_per_access must be positive")
         if on_fault not in ("raise", "record"):
             raise SimulationError(
                 f"on_fault must be 'raise' or 'record', got {on_fault!r}"
+            )
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
             )
         self.organization = organization
         self.workload_name = workload_name
@@ -77,6 +91,7 @@ class Simulator:
         self.on_fault = on_fault
         self.auditor = auditor
         self.max_fault_records = max_fault_records
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def run(
@@ -113,7 +128,10 @@ class Simulator:
         what the loop itself owns.  Events already fired before the
         snapshot are not re-fired.
         """
-        vpns = trace.tolist() if hasattr(trace, "tolist") else list(trace)
+        # Numpy traces stay arrays: the reference loop materializes only
+        # one boundary-to-boundary segment at a time, and the fast engine
+        # run-length-encodes the array directly.
+        vpns = trace if hasattr(trace, "tolist") else list(trace)
         total = len(vpns)
         if total == 0:
             raise SimulationError("empty trace")
@@ -221,28 +239,41 @@ class Simulator:
                 ],
             }
 
-        # ----- hot loop: plain in strict mode, per-access in tolerant ---
+        # ----- hot loop: fast engine, plain, or per-access tolerant -----
         tolerant = self.on_fault == "record"
 
-        def drain(start: int, stop: int) -> None:
-            nonlocal faulted
-            if not tolerant:
-                for vpn in vpns[start:stop]:
-                    access(vpn)
-                return
-            i = start
-            while i < stop:
-                try:
-                    while i < stop:
-                        access(vpns[i])
+        if self.engine == "fast" and not tolerant:
+            drain = FastEngine(hierarchy, vpns).drain
+        else:
+
+            def drain(start: int, stop: int) -> None:
+                nonlocal faulted
+                segment = vpns[start:stop]
+                if hasattr(segment, "tolist"):
+                    segment = segment.tolist()
+                if not tolerant:
+                    for vpn in segment:
+                        access(vpn)
+                    return
+                i = 0
+                count = stop - start
+                while i < count:
+                    try:
+                        while i < count:
+                            access(segment[i])
+                            i += 1
+                    except FAULT_EXCEPTIONS as exc:
+                        if len(faults) < self.max_fault_records:
+                            faults.append(
+                                FaultRecord(
+                                    start + i,
+                                    int(segment[i]),
+                                    type(exc).__name__,
+                                    str(exc),
+                                )
+                            )
+                        faulted += 1
                         i += 1
-                except FAULT_EXCEPTIONS as exc:
-                    if len(faults) < self.max_fault_records:
-                        faults.append(
-                            FaultRecord(i, int(vpns[i]), type(exc).__name__, str(exc))
-                        )
-                    faulted += 1
-                    i += 1
 
         # ----- fast-forward (warm structures, Lite live, stats discarded)
         if phase == "fast-forward":

@@ -43,6 +43,12 @@ MUTATOR_METHODS = frozenset(
     }
 )
 
+#: method-name prefixes treated like MUTATOR_METHODS.  The RL004 stats
+#: discipline routes counter bumps through owner methods named
+#: ``record_*`` (``self.stats.record_walk(...)``), so such a call marks
+#: the receiver as mutable state.
+MUTATOR_PREFIXES = ("record",)
+
 
 def dotted_name(node: ast.AST) -> str | None:
     """``a.b.c`` for Name/Attribute chains, else ``None``."""
@@ -242,7 +248,8 @@ def _self_writes(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
         elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
             add_target(node.target)
         elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-            if node.func.attr in MUTATOR_METHODS:
+            name = node.func.attr
+            if name in MUTATOR_METHODS or name.startswith(MUTATOR_PREFIXES):
                 attr = self_attribute_of(node.func.value)
                 if attr is not None:
                     writes.add(attr)

@@ -24,7 +24,14 @@ from dataclasses import dataclass
 
 from ..tlb.fully_assoc import FullyAssociativeTLB
 from ..tlb.set_assoc import SetAssociativeTLB
-from .translation import PageSize, pde_tag, pdpte_tag, pml4e_tag
+from .translation import LEVEL_BITS, PageSize
+
+# Tag shifts, inlined from translation.pde_tag/pdpte_tag/pml4e_tag:
+# probe/fill run on every page walk, and the function-call overhead is
+# measurable there.
+_PDE_SHIFT = LEVEL_BITS
+_PDPTE_SHIFT = 2 * LEVEL_BITS
+_PML4_SHIFT = 3 * LEVEL_BITS
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,9 +71,9 @@ class MMUCache:
         *is* the leaf, so the PDE cache cannot help (its entries are
         non-leaf PDEs); likewise the PDPTE cache cannot help a 1 GB walk.
         """
-        pde_hit = self.pde.lookup(pde_tag(vpn4k)) is not None
-        pdpte_hit = self.pdpte.lookup(pdpte_tag(vpn4k)) is not None
-        pml4_hit = self.pml4.lookup(pml4e_tag(vpn4k)) is not None
+        pde_hit = self.pde.lookup(vpn4k >> _PDE_SHIFT) is not None
+        pdpte_hit = self.pdpte.lookup(vpn4k >> _PDPTE_SHIFT) is not None
+        pml4_hit = self.pml4.lookup(vpn4k >> _PML4_SHIFT) is not None
         if page_size is PageSize.SIZE_4KB and pde_hit:
             return 3
         if page_size is not PageSize.SIZE_1GB and pdpte_hit:
@@ -84,17 +91,17 @@ class MMUCache:
         Filling an already-present entry just refreshes its recency and is
         skipped to avoid charging spurious write energy.
         """
-        tag = pml4e_tag(vpn4k)
+        tag = vpn4k >> _PML4_SHIFT
         if self.pml4.peek(tag) is None:
             self.pml4.fill(tag, True)
         if page_size is PageSize.SIZE_1GB:
             return
-        tag = pdpte_tag(vpn4k)
+        tag = vpn4k >> _PDPTE_SHIFT
         if self.pdpte.peek(tag) is None:
             self.pdpte.fill(tag, True)
         if page_size is PageSize.SIZE_2MB:
             return
-        tag = pde_tag(vpn4k)
+        tag = vpn4k >> _PDE_SHIFT
         if self.pde.peek(tag) is None:
             self.pde.fill(tag, True)
 

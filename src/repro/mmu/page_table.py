@@ -31,6 +31,11 @@ VPN_BITS = LEVEL_BITS * 4
 #: One past the highest representable 4 KB page number.
 VPN_LIMIT = 1 << VPN_BITS
 
+#: Radix-index shifts of levels 4..2 (level 1 indexes with the bare mask).
+_SHIFT_L4 = LEVEL_BITS * 3
+_SHIFT_L3 = LEVEL_BITS * 2
+_SHIFT_L2 = LEVEL_BITS
+
 
 class PageFault(Exception):
     """Raised when a walk reaches an unmapped virtual page."""
@@ -161,17 +166,26 @@ class PageTable:
         guard the per-level 9-bit masking would silently wrap them onto
         low addresses and hand back a wrong translation — exactly the
         corruption a hostile trace would exploit.
+
+        The four-level descent is unrolled: this runs on every page walk,
+        which dominates simulation time whenever TLBs miss.  Entries are
+        either :class:`Translation` leaves or :class:`PageTableNode`
+        children (``map`` enforces that), so an exact type test picks the
+        leaf case.  Level-1 nodes hold only 4 KB leaves, so the last level
+        returns its entry directly.
         """
         if not 0 <= vpn4k < VPN_LIMIT:
             return None
-        node = self.root
-        while True:
-            entry = node.entries.get(node.index_for(vpn4k))
-            if entry is None:
-                return None
-            if isinstance(entry, Translation):
-                return entry
-            node = entry
+        entry = self.root.entries.get((vpn4k >> _SHIFT_L4) & LEVEL_MASK)
+        if entry is None or type(entry) is Translation:
+            return entry
+        entry = entry.entries.get((vpn4k >> _SHIFT_L3) & LEVEL_MASK)
+        if entry is None or type(entry) is Translation:
+            return entry
+        entry = entry.entries.get((vpn4k >> _SHIFT_L2) & LEVEL_MASK)
+        if entry is None or type(entry) is Translation:
+            return entry
+        return entry.entries.get(vpn4k & LEVEL_MASK)
 
     def walk(self, vpn4k: int) -> Translation:
         """Like :meth:`lookup` but raises :class:`PageFault` if unmapped."""

@@ -34,6 +34,11 @@ class WalkerStats:
     walks: int = 0
     memory_refs: int = 0
 
+    def record_walk(self, memory_refs: int) -> None:
+        """Count one completed walk and its memory references."""
+        self.walks += 1
+        self.memory_refs += memory_refs
+
     def reset(self) -> None:
         self.walks = 0
         self.memory_refs = 0
@@ -72,8 +77,7 @@ class PageWalker:
         skipped = self.mmu_cache.probe(vpn4k, size)
         refs = size.walk_levels - skipped
         self.mmu_cache.fill(vpn4k, size)
-        self.stats.walks += 1
-        self.stats.memory_refs += refs
+        self.stats.record_walk(refs)
         return WalkResult(translation=translation, memory_refs=refs, levels_skipped=skipped)
 
     def state_dict(self) -> dict:

@@ -45,12 +45,14 @@ class TrailRun:
     boundaries: int
 
 
-def _prepare(workload, config_name, settings, trace_fault, fault_seed):
+def _prepare(workload, config_name, settings, trace_fault, fault_seed, engine="reference"):
     """Canonical cell build, optionally with a perturbed trace."""
     # Perturbed traces produce unmappable VPNs; the simulator must survive
     # them (tolerant mode) for the trail to reach the end of the trace.
     on_fault = "record" if trace_fault is not None else "raise"
-    prepared = prepare_run(workload, config_name, settings, on_fault=on_fault)
+    prepared = prepare_run(
+        workload, config_name, settings, on_fault=on_fault, engine=engine
+    )
     if trace_fault is not None:
         try:
             inject = TRACE_FAULTS[trace_fault]
@@ -70,10 +72,16 @@ def record_digest_trail(
     digest_every: int = 1,
     trace_fault: str | None = None,
     fault_seed: int = 0,
+    engine: str = "reference",
 ) -> TrailRun:
-    """Run one cell start-to-finish, recording digests every Nth boundary."""
+    """Run one cell start-to-finish, recording digests every Nth boundary.
+
+    ``engine`` selects the simulator drain engine, so two trails of the
+    same cell under ``"reference"`` and ``"fast"`` can be bisected
+    against each other to localize an engine divergence.
+    """
     settings = settings or ExperimentSettings()
-    prepared = _prepare(workload, config_name, settings, trace_fault, fault_seed)
+    prepared = _prepare(workload, config_name, settings, trace_fault, fault_seed, engine)
     checkpointer = SimulationCheckpointer(
         prepared.simulator, prepared.process, digest_every=digest_every
     )
@@ -94,6 +102,7 @@ def record_resumed_trail(
     snapshot_path=None,
     trace_fault: str | None = None,
     fault_seed: int = 0,
+    engine: str = "reference",
 ) -> TrailRun:
     """Kill the cell after ``abort_after`` boundaries, then resume and finish.
 
@@ -107,7 +116,7 @@ def record_resumed_trail(
     if snapshot_path is None:
         raise CheckpointError("record_resumed_trail needs a snapshot_path")
     settings = settings or ExperimentSettings()
-    first = _prepare(workload, config_name, settings, trace_fault, fault_seed)
+    first = _prepare(workload, config_name, settings, trace_fault, fault_seed, engine)
     first_checkpointer = SimulationCheckpointer(
         first.simulator,
         first.process,
@@ -125,7 +134,7 @@ def record_resumed_trail(
     except AbortSimulation:
         pass
 
-    resumed = _prepare(workload, config_name, settings, trace_fault, fault_seed)
+    resumed = _prepare(workload, config_name, settings, trace_fault, fault_seed, engine)
     loop_state = resume_from_snapshot(resumed, snapshot_path)
     resumed_checkpointer = SimulationCheckpointer(
         resumed.simulator, resumed.process, digest_every=digest_every

@@ -91,7 +91,13 @@ class TranslationStructure:
     Provides the stats object and naming; subclasses implement ``lookup``
     and ``fill`` with their own signatures (page TLBs key by page number,
     range TLBs by containment, MMU caches by partial-VA tags).
+
+    Slotted so the hot structures get compact, dict-free instances; a
+    subclass that declares no ``__slots__`` of its own still gets an
+    instance dict and can carry ad-hoc attributes.
     """
+
+    __slots__ = ("name", "stats")
 
     def __init__(self, name: str) -> None:
         self.name = name

@@ -29,6 +29,16 @@ class FullyAssociativeTLB(TranslationStructure):
     Maintains a single recency list (MRU first).
     """
 
+    __slots__ = (
+        "entries",
+        "active_entries",
+        "_stack",
+        "hit_rank_counters",
+        "_pending_hits",
+        "_pending_misses",
+        "_pending_fills",
+    )
+
     def __init__(self, name: str, entries: int) -> None:
         super().__init__(name)
         if entries < 1:

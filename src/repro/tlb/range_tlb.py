@@ -32,6 +32,16 @@ from .base import TranslationStructure
 class RangeTLB(TranslationStructure):
     """Fully-associative TLB whose entries hit by interval containment."""
 
+    __slots__ = (
+        "entries",
+        "active_entries",
+        "_stack",
+        "hit_rank_counters",
+        "_pending_hits",
+        "_pending_misses",
+        "_pending_fills",
+    )
+
     def __init__(self, name: str, entries: int) -> None:
         super().__init__(name)
         if entries < 1:

@@ -29,6 +29,19 @@ class PLRUSetAssociativeTLB(TranslationStructure):
     not define one), so Lite's monitoring cannot run on top of it.
     """
 
+    __slots__ = (
+        "entries",
+        "ways",
+        "num_sets",
+        "_set_mask",
+        "active_ways",
+        "_slots",
+        "_trees",
+        "_pending_hits",
+        "_pending_misses",
+        "_pending_fills",
+    )
+
     def __init__(self, name: str, entries: int, ways: int) -> None:
         super().__init__(name)
         if entries % ways != 0:

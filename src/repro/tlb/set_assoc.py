@@ -58,6 +58,19 @@ class SetAssociativeTLB(TranslationStructure):
         :class:`repro.core.counters.LRUDistanceCounters`.
     """
 
+    __slots__ = (
+        "entries",
+        "ways",
+        "num_sets",
+        "_set_mask",
+        "active_ways",
+        "_sets",
+        "hit_rank_counters",
+        "_pending_hits",
+        "_pending_misses",
+        "_pending_fills",
+    )
+
     def __init__(self, name: str, entries: int, ways: int) -> None:
         super().__init__(name)
         if entries % ways != 0:

@@ -21,6 +21,20 @@ from ..errors import TraceError, TraceIOError, UsageError
 FORMAT_VERSION = 1
 
 
+def as_vpn_array(trace) -> np.ndarray:
+    """Canonical ``int64`` page-number array for any trace input.
+
+    Accepts a numpy integer array (returned as-is when already
+    ``int64``, so no copy is made on the common path) or any 1-D
+    sequence of page numbers.  Both simulator engines preprocess traces
+    through this instead of eagerly materializing Python lists.
+    """
+    pages = np.asarray(trace, dtype=np.int64)
+    if pages.ndim != 1:
+        raise TraceError(f"trace must be 1-D, got shape {pages.shape}")
+    return pages
+
+
 @dataclass(frozen=True)
 class TraceMetadata:
     """Sidecar metadata for a saved trace."""

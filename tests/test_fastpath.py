@@ -1,0 +1,245 @@
+"""Differential tests for the streak-coalescing fast engine.
+
+The fast engine (``Simulator(engine="fast")``) is only allowed to exist
+because its equivalence to the reference drain loop is *proven*, not
+argued:
+
+* every TLB organization produces a byte-identical ``SimulationResult``
+  and identical per-component state digests at **every** interval
+  boundary (``digest_every=1``) under both engines;
+* boundaries that land in the middle of a streak — a scheduled OS
+  event, a Lite ``end_interval``, a timeline sample, or a
+  ``checkpoint_hook`` call — split the run, and the digests at the
+  split are unperturbed;
+* a run killed mid-trace under the fast engine resumes from its
+  snapshot to the same result and trail as an uninterrupted reference
+  run;
+* numpy-array and plain-list traces are both accepted and agree.
+
+Divergences, should a change introduce one, are localized with
+:mod:`repro.resilience.bisect` — see ``describe_divergence`` for the
+component naming.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings, prepare_run
+from repro.core.fastpath import ENGINES, encode_trace
+from repro.core.organizations import EXTENDED_CONFIG_NAMES
+from repro.errors import SimulationError, TraceError
+from repro.resilience.bisect import (
+    bisect_divergence,
+    describe_divergence,
+    record_digest_trail,
+    record_resumed_trail,
+)
+from repro.resilience.checkpoint import SimulationCheckpointer
+from repro.workloads.base import VMASpec, Workload
+from repro.workloads.patterns import Zipf
+from repro.workloads.tracefile import as_vpn_array
+
+SETTINGS = ExperimentSettings(trace_accesses=6_000, seed=5, physical_bytes=1 << 28)
+
+#: Run length of the synthetic streak traces.  Chosen so the default
+#: boundary schedule splits runs: the timeline window (5400 measured
+#: accesses / 50 windows = 108) and the scaled Lite interval
+#: (10_000 instructions / 3 ipa = 3333 accesses) are both indivisible
+#: by it, so samples and interval ends land mid-run.
+RUN_LENGTH = 40
+
+
+def small_workload(name: str = "fastpath") -> Workload:
+    return Workload(
+        name,
+        "TEST",
+        [VMASpec("heap", 6), VMASpec("stack", 1, thp_eligible=False)],
+        lambda regions: Zipf(regions["heap"].subregion(0, 24), alpha=1.1, burst=3),
+        instructions_per_access=3.0,
+    )
+
+
+def streaky_trace() -> np.ndarray:
+    """A mapped trace of constant-length streaks (RUN_LENGTH repeats)."""
+    prepared = prepare_run(small_workload(), "4KB", SETTINGS)
+    base = as_vpn_array(prepared.trace)[: SETTINGS.trace_accesses // RUN_LENGTH]
+    return np.repeat(base, RUN_LENGTH)
+
+
+def run_with_digests(config_name, trace, engine, events_at=()):
+    """One run over a custom trace: (digest trail, result)."""
+    prepared = prepare_run(small_workload(), config_name, SETTINGS, engine=engine)
+    prepared.trace = trace
+    checkpointer = SimulationCheckpointer(
+        prepared.simulator, prepared.process, digest_every=1
+    )
+    events = [
+        (position, lambda org: org.hierarchy.flush_tlbs()) for position in events_at
+    ]
+    result = prepared.run(events=events, checkpoint_hook=checkpointer)
+    return checkpointer.trail, result
+
+
+def assert_engines_agree(config_name, trace, events_at=()):
+    ref_trail, ref_result = run_with_digests(config_name, trace, "reference", events_at)
+    fast_trail, fast_result = run_with_digests(config_name, trace, "fast", events_at)
+    divergence = bisect_divergence(ref_trail, fast_trail)
+    assert divergence is None, describe_divergence(divergence)
+    assert fast_result == ref_result
+
+
+# ----------------------------------------------------------------------
+# Trace preprocessing
+# ----------------------------------------------------------------------
+class TestEncodeTrace:
+    def test_runs_become_sentinels(self):
+        tokens, cum = encode_trace([5, 5, 5, 9, 7, 7])
+        assert tokens == [5, -2, 9, 7, -1]
+        assert cum.tolist() == [0, 1, 3, 4, 5, 6]
+
+    def test_singletons_carry_no_sentinel(self):
+        tokens, cum = encode_trace([3, 1, 4, 1])
+        assert tokens == [3, 1, 4, 1]
+        assert cum.tolist() == [0, 1, 2, 3, 4]
+
+    def test_tokens_are_python_ints(self):
+        tokens, _ = encode_trace(np.array([2, 2, 8], dtype=np.int64))
+        assert all(type(token) is int for token in tokens)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        pages = rng.integers(0, 20, size=500)
+        pages = np.repeat(pages, rng.integers(1, 6, size=500))[:700]
+        tokens, cum = encode_trace(pages)
+        decoded = []
+        for token in tokens:
+            if token < 0:
+                decoded.extend([decoded[-1]] * -token)
+            else:
+                decoded.append(token)
+        assert decoded == pages.tolist()
+        assert cum[-1] == len(pages)
+
+    def test_as_vpn_array_rejects_2d(self):
+        with pytest.raises(TraceError):
+            as_vpn_array(np.zeros((2, 2), dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+class TestEngineSelection:
+    def test_engine_names(self):
+        assert ENGINES == ("reference", "fast")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError, match="engine"):
+            prepare_run(small_workload(), "4KB", SETTINGS, engine="warp")
+
+    def test_prepare_run_threads_engine(self):
+        prepared = prepare_run(small_workload(), "4KB", SETTINGS, engine="fast")
+        assert prepared.simulator.engine == "fast"
+
+
+# ----------------------------------------------------------------------
+# Differential equivalence: every organization, every boundary
+# ----------------------------------------------------------------------
+class TestDifferentialEquivalence:
+    @pytest.mark.parametrize("config_name", EXTENDED_CONFIG_NAMES)
+    def test_results_and_digests_identical(self, config_name):
+        """Byte-identical result + per-boundary digests for each config."""
+        reference = record_digest_trail(small_workload(), config_name, SETTINGS)
+        fast = record_digest_trail(
+            small_workload(), config_name, SETTINGS, engine="fast"
+        )
+        divergence = bisect_divergence(reference.trail, fast.trail)
+        assert divergence is None, describe_divergence(divergence)
+        assert fast.boundaries == reference.boundaries
+        assert fast.result == reference.result
+
+
+# ----------------------------------------------------------------------
+# Boundary splitting: streaks must split at every boundary kind
+# ----------------------------------------------------------------------
+class TestStreakSplitting:
+    def test_timeline_sample_splits_streak(self):
+        """Timeline samples land mid-run (108 % 40 != 0) on 4KB."""
+        assert_engines_agree("4KB", streaky_trace())
+
+    def test_lite_interval_splits_streak(self):
+        """Lite end_interval fires at access 3333 — mid-run — on TLB_Lite."""
+        assert_engines_agree("TLB_Lite", streaky_trace())
+
+    def test_range_hierarchy_splits_streak(self):
+        """RMM_Lite: range TLBs + Lite resizing over the same streaks."""
+        assert_engines_agree("RMM_Lite", streaky_trace())
+
+    def test_event_mid_streak_splits_and_flushes(self):
+        """A TLB flush scheduled mid-run must see (and leave) exact state."""
+        # 2_020 = 50 * RUN_LENGTH + 20: the event lands mid-streak; the
+        # second one lands mid-streak in the measured phase.
+        assert_engines_agree("THP", streaky_trace(), events_at=(2_020, 4_444))
+
+    def test_checkpoint_hook_mid_streak(self):
+        """digest_every=1 checkpoints observe unperturbed pending counts.
+
+        Every boundary of the streaky runs above is a checkpoint_hook
+        call; this case pins the composition — events *and* Lite
+        intervals *and* samples all splitting the same streak stream.
+        """
+        assert_engines_agree("TLB_Lite", streaky_trace(), events_at=(3_350,))
+
+
+# ----------------------------------------------------------------------
+# Kill-and-resume under the fast engine
+# ----------------------------------------------------------------------
+class TestResumeDeterminism:
+    @pytest.mark.parametrize(
+        "config_name", ("4KB", "TLB_Lite", "RMM_Lite", "FA_Lite", "Banked")
+    )
+    def test_fast_resumed_matches_fresh_reference(self, config_name, tmp_path):
+        fresh = record_digest_trail(small_workload(), config_name, SETTINGS)
+        resumed = record_resumed_trail(
+            small_workload(),
+            config_name,
+            SETTINGS,
+            abort_after=4,
+            snapshot_path=tmp_path / "cell.ckpt",
+            engine="fast",
+        )
+        divergence = bisect_divergence(fresh.trail, resumed.trail)
+        assert divergence is None, describe_divergence(divergence)
+        assert resumed.result == fresh.result
+
+
+# ----------------------------------------------------------------------
+# Trace input types and the tolerant fallback
+# ----------------------------------------------------------------------
+class TestTraceInputs:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_list_and_array_traces_agree(self, engine):
+        prepared = prepare_run(small_workload(), "4KB", SETTINGS, engine=engine)
+        array_trace = as_vpn_array(prepared.trace)
+
+        as_array = prepare_run(small_workload(), "4KB", SETTINGS, engine=engine)
+        as_array.trace = array_trace
+        as_list = prepare_run(small_workload(), "4KB", SETTINGS, engine=engine)
+        as_list.trace = array_trace.tolist()
+        assert as_array.run() == as_list.run()
+
+    def test_tolerant_mode_falls_back_to_reference_loop(self):
+        """engine="fast" + on_fault="record" must still record faults."""
+        results = []
+        for engine in ENGINES:
+            prepared = prepare_run(
+                small_workload(), "4KB", SETTINGS, on_fault="record", engine=engine
+            )
+            trace = as_vpn_array(prepared.trace).copy()
+            trace[4_000] = -7  # unmappable: PageFault in the access path
+            prepared.trace = trace
+            results.append(prepared.run())
+        reference, fast = results
+        assert reference.faulted_accesses == 1
+        assert reference.fault_records[0].vpn == -7
+        assert fast == reference
