@@ -45,6 +45,18 @@ lint
     ``--update-baseline`` rewrites it; ``--explain RLxxx`` documents a
     rule; ``--changed`` reports only on files the working tree touched.
     See ``docs/static_analysis.md``.
+fuzz
+    Differential fuzzing harness (``fuzz run|replay|minimize``).
+    ``run`` samples seeded random cases (hierarchy geometry, Lite knobs,
+    page-size mixes, trace patterns + perturbations, OS-event schedules)
+    and drives each through the oracle stack — reference-vs-fast digest
+    equality, kill-and-resume identity, invariant auditing, taxonomy
+    containment — minimizing failures into ``--corpus`` reproducers
+    bucketed by fingerprint (``--cases``/``--max-seconds`` budgets; exit
+    1 on failures, consistent with ``sweep``).  ``replay`` re-runs every
+    corpus reproducer deterministically (exit 1 on any failure);
+    ``minimize`` re-shrinks one reproducer file.  See
+    ``docs/robustness.md``.
 
 Unknown workload or configuration names exit with a did-you-mean message
 instead of a traceback; structured simulator errors print as
@@ -262,6 +274,95 @@ def _cmd_describe(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .resilience.fuzz import (
+        corpus_paths,
+        load_reproducer,
+        minimize_reproducer,
+        replay_corpus,
+        run_fuzz,
+    )
+
+    if args.fuzz_command == "run":
+        report = run_fuzz(
+            seed=args.seed,
+            cases=args.cases,
+            max_seconds=args.max_seconds,
+            corpus_dir=args.corpus,
+            minimize=not args.no_minimize,
+            minimize_evaluations=args.minimize_evaluations,
+            log=lambda line: print(line, file=sys.stderr),
+        )
+        budget = " (time budget exhausted)" if report.budget_exhausted else ""
+        print(
+            f"fuzz: {report.cases_run}/{report.cases_requested} cases, "
+            f"{len(report.failures)} failures, seed {report.seed}, "
+            f"{report.seconds:.1f}s{budget}"
+        )
+        for entry in report.failures:
+            failure = entry["failure"]
+            shrunk = entry["minimized"]
+            size = (
+                f", minimized {shrunk['original_entries']}→{shrunk['entries']} "
+                f"entries in {shrunk['evaluations']} evals"
+                if shrunk
+                else ""
+            )
+            print(
+                f"  case {entry['index']} ({entry['config']}): "
+                f"{failure.oracle}/{failure.kind} [{failure.fingerprint}]{size}"
+            )
+        for path in report.new_reproducers:
+            print(f"  reproducer: {path}")
+        return 1 if report.failures else 0
+
+    if args.fuzz_command == "replay":
+        paths = (
+            [Path(p) for p in args.reproducers]
+            if args.reproducers
+            else corpus_paths(args.corpus)
+        )
+        if not paths:
+            print(f"fuzz replay: no reproducers under {args.corpus}")
+            return 0
+        replayed = replay_corpus(paths)
+        failed = 0
+        for item in replayed:
+            if item.status == "pass":
+                print(f"  {item.path.name}: pass")
+                continue
+            failed += 1
+            failure = item.outcome.failure
+            note = (
+                ""
+                if item.status == "fail"
+                else f" (bucket changed: was {item.fingerprint})"
+            )
+            print(
+                f"  {item.path.name}: FAIL {failure.oracle}/{failure.kind} "
+                f"[{failure.fingerprint}]{note} — {failure.detail}"
+            )
+        print(f"fuzz replay: {len(replayed) - failed}/{len(replayed)} pass")
+        return 1 if failed else 0
+
+    # minimize: re-shrink one reproducer file.
+    _case, envelope = load_reproducer(args.reproducer)
+    destination = minimize_reproducer(
+        args.reproducer,
+        out_path=args.out,
+        max_evaluations=args.minimize_evaluations,
+    )
+    _case, shrunk = load_reproducer(destination)
+    stats = shrunk["found"].get("reminimized", {})
+    print(
+        f"minimized {args.reproducer} → {destination} "
+        f"({stats.get('original_entries', '?')}→{stats.get('entries', '?')} "
+        f"entries, {stats.get('evaluations', '?')} evals, "
+        f"fingerprint {shrunk['fingerprint']})"
+    )
+    return 0
+
+
 def _cmd_audit(args) -> int:
     workload = get_workload(args.workload)
     settings = ExperimentSettings(trace_accesses=args.accesses, seed=args.seed)
@@ -439,6 +540,65 @@ def main(argv: list[str] | None = None) -> int:
     audit_parser.add_argument("--accesses", type=int, default=50_000)
     audit_parser.add_argument("--seed", type=int, default=42)
 
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="differential fuzzing with minimization and a corpus"
+    )
+    fuzz_sub = fuzz_parser.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="generate random cases and run the oracle stack"
+    )
+    fuzz_run.add_argument("--cases", type=int, default=100, help="case budget")
+    fuzz_run.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz_run.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget; generation stops when spent (CI mode)",
+    )
+    fuzz_run.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="write one minimized reproducer per new failure bucket here",
+    )
+    fuzz_run.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="report raw failing cases without delta-debugging them",
+    )
+    fuzz_run.add_argument(
+        "--minimize-evaluations",
+        type=int,
+        default=160,
+        metavar="N",
+        help="oracle re-runs the minimizer may spend per failure",
+    )
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-run corpus reproducers deterministically"
+    )
+    fuzz_replay.add_argument(
+        "reproducers",
+        nargs="*",
+        help="specific reproducer files (default: every *.json in --corpus)",
+    )
+    fuzz_replay.add_argument(
+        "--corpus", default="corpus", metavar="DIR", help="corpus directory"
+    )
+
+    fuzz_minimize = fuzz_sub.add_parser(
+        "minimize", help="re-shrink one reproducer file"
+    )
+    fuzz_minimize.add_argument("reproducer", help="reproducer JSON file")
+    fuzz_minimize.add_argument(
+        "--out", default=None, help="write here instead of in place"
+    )
+    fuzz_minimize.add_argument(
+        "--minimize-evaluations", type=int, default=160, metavar="N"
+    )
+
     lint_parser = sub.add_parser(
         "lint", help="static-analysis pass enforcing simulator invariants"
     )
@@ -452,6 +612,7 @@ def main(argv: list[str] | None = None) -> int:
         "bisect-divergence": _cmd_bisect,
         "describe": _cmd_describe,
         "audit": _cmd_audit,
+        "fuzz": _cmd_fuzz,
         "lint": run_lint,
     }
     try:

@@ -97,11 +97,18 @@ class EnergyModel:
         return ratio * self.l1_cache_read_pj + (1.0 - ratio) * self.l2_cache_read_pj
 
     def structure_energy(self, binding: EnergyBinding) -> float:
-        """Apply ``E = A*E_read + M*E_write`` over the way histograms."""
+        """Apply ``E = A*E_read + M*E_write`` over the way histograms.
+
+        The histograms are summed in sorted-key order: a restored
+        checkpoint rebuilds these dicts in serialized order rather than
+        chronological insertion order, and float addition is not
+        associative — unsorted iteration made a resumed run's energy
+        differ from the fresh run's in the last ulp.
+        """
         total = 0.0
-        for ways, count in binding.stats.lookups_by_ways.items():
+        for ways, count in sorted(binding.stats.lookups_by_ways.items()):
             total += count * binding.params_for_ways(ways).read_pj
-        for ways, count in binding.stats.fills_by_ways.items():
+        for ways, count in sorted(binding.stats.fills_by_ways.items()):
             total += count * binding.params_for_ways(ways).write_pj
         return total
 

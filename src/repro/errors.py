@@ -59,6 +59,9 @@ by *kind* instead of string-matching messages:
     mapping's covered interval.
 ``ExportError``
     Result export cannot proceed (nothing to write).
+``FuzzError``
+    The differential fuzzing harness cannot proceed (a corpus reproducer
+    that no longer fails, replay over an empty corpus).
 
 Most classes double-derive from the built-in exception they historically
 replaced (``ValueError``, ``KeyError``, ``FileNotFoundError``) so that
@@ -219,6 +222,17 @@ class TranslationDomainError(ReproError, KeyError):
 
 class ExportError(ReproError, ValueError):
     """Result export cannot proceed (e.g. an empty result collection)."""
+
+
+class FuzzError(ReproError):
+    """The fuzzing harness cannot proceed (bad corpus entry, dead reproducer).
+
+    Raised by :mod:`repro.resilience.fuzz` / :mod:`repro.resilience.minimize`
+    on harness-level problems — a reproducer that no longer fails and so
+    cannot be minimized, or replay/minimize invoked against an empty
+    corpus.  Oracle *failures* are data (``FuzzFailure``), not exceptions;
+    this class covers the harness itself misfiring.
+    """
 
 
 class UnknownNameError(ReproError, KeyError):

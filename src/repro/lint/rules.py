@@ -92,6 +92,14 @@ _TIME_CALLS = frozenset(
     }
 )
 
+#: Seeded named-stream constructors (the fuzzer's blessed idiom): the
+#: helper derives an independent ``default_rng`` from an explicit seed
+#: plus crc32'd path elements, so calls *with* arguments are
+#: deterministic by construction.  A call with no seed material at all,
+#: or with a wall-clock read inside its arguments, defeats that and is
+#: flagged like any other RNG constructor.
+_STREAM_HELPERS = frozenset({"rng_stream"})
+
 
 class DeterminismRule(LintRule):
     """RL001: every random draw must come from an explicitly seeded RNG.
@@ -102,7 +110,11 @@ class DeterminismRule(LintRule):
     seed argument; (c) wall-clock reads feeding an RNG constructor or a
     ``*seed*`` variable.  ``random.Random(seed)`` threaded from the
     owning object's parameters (the ``core/lite.py`` pattern) is the
-    blessed idiom.
+    blessed idiom; so is ``rng_stream(seed, *path)``
+    (:func:`repro.resilience.fuzz.rng_stream`), the fuzzer's seeded
+    named-stream constructor — recognized here so fuzz code lints clean,
+    while an ``rng_stream()`` call with no seed material (or with a
+    wall-clock read in its arguments) is still flagged.
     """
 
     rule_id = "RL001"
@@ -143,6 +155,23 @@ class DeterminismRule(LintRule):
                 f"module-level random.{from_random[func.id]}() in {where} "
                 "uses the hidden global RNG",
             )
+            return
+        # rng_stream(seed, *path) — the fuzzer's seeded stream helper.
+        helper = None
+        if isinstance(func, ast.Name) and func.id in _STREAM_HELPERS:
+            helper = func.id
+        elif isinstance(func, ast.Attribute) and func.attr in _STREAM_HELPERS:
+            helper = func.attr
+        if helper is not None:
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"seeded stream helper {helper}() called without seed "
+                    f"material in {where}",
+                )
+            else:
+                yield from self._check_time_seed(ctx, node, where)
             return
         if not isinstance(func, ast.Attribute):
             return

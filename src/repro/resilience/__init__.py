@@ -17,7 +17,11 @@ Five pillars, each usable on its own:
 * :mod:`repro.resilience.supervisor` — the process-isolated execution
   engine behind ``workers=N``: one OS process per cell, hard SIGKILL
   timeouts, heartbeat hang detection, memory budgets, crash quarantine,
-  and graceful SIGINT/SIGTERM shutdown.
+  and graceful SIGINT/SIGTERM shutdown;
+* :mod:`repro.resilience.fuzz` / :mod:`repro.resilience.minimize` — a
+  seeded generative differential fuzzer (reference-vs-fast engines,
+  kill-and-resume identity, invariant auditing, taxonomy containment)
+  with delta-debugging minimization and a versioned regression corpus.
 """
 
 from .auditor import InvariantAuditor
@@ -57,6 +61,23 @@ from .faults import (
     truncate_trace,
 )
 from .supervisor import WorkerTask, run_supervised_sweep
+from .fuzz import (
+    CORPUS_VERSION,
+    FUZZ_CASE_VERSION,
+    ORACLE_NAMES,
+    FuzzCase,
+    FuzzFailure,
+    FuzzReport,
+    generate_case,
+    load_reproducer,
+    minimize_reproducer,
+    replay_corpus,
+    rng_stream,
+    run_case,
+    run_fuzz,
+    write_reproducer,
+)
+from .minimize import MinimizationResult, minimize_case
 from .sweep import (
     CrashLedger,
     JournalState,
@@ -96,6 +117,22 @@ __all__ = [
     "run_fault_campaign",
     "truncate_trace",
     "ChaosPolicy",
+    "CORPUS_VERSION",
+    "FUZZ_CASE_VERSION",
+    "ORACLE_NAMES",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "MinimizationResult",
+    "generate_case",
+    "load_reproducer",
+    "minimize_case",
+    "minimize_reproducer",
+    "replay_corpus",
+    "rng_stream",
+    "run_case",
+    "run_fuzz",
+    "write_reproducer",
     "claim_snapshot",
     "CrashLedger",
     "JournalState",

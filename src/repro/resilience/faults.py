@@ -32,13 +32,49 @@ import os
 import signal
 import time
 import zlib
-from dataclasses import asdict, dataclass, field
+from dataclasses import MISSING, asdict, dataclass, field, fields
 
 import numpy as np
 
 from ..analysis.experiments import ExperimentSettings, prepare_run
-from ..errors import ReproError
+from ..errors import ConfigurationError, ReproError
+from ..ioutils import atomic_write_json
 from ..resilience.auditor import InvariantAuditor
+
+#: Bump when the campaign-report JSON layout changes incompatibly.
+CAMPAIGN_VERSION = 1
+
+
+def dataclass_from_json(cls, data, what: str):
+    """Strictly construct a dataclass from a plain dict.
+
+    Unlike ``cls(**data)`` — which surfaces schema drift as a raw
+    ``TypeError`` deep inside a worker or a replay — this validates the
+    key set first and reports unknown *and* missing keys together as a
+    :class:`repro.errors.ConfigurationError`, so corpus/journal files
+    written by a newer build fail loudly with an actionable message.
+    Fields with defaults may be omitted; extra keys never pass.
+    """
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"{what}: expected an object, got {type(data).__name__}"
+        )
+    spec = {field.name: field for field in fields(cls)}
+    unknown = sorted(set(data) - set(spec))
+    required = {
+        name
+        for name, field_spec in spec.items()
+        if field_spec.default is MISSING and field_spec.default_factory is MISSING
+    }
+    missing = sorted(required - set(data))
+    if unknown or missing:
+        raise ConfigurationError(
+            f"{what} does not match this build's {cls.__name__} schema"
+            + (f"; unknown keys: {', '.join(unknown)}" if unknown else "")
+            + (f"; missing keys: {', '.join(missing)}" if missing else "")
+            + " (file written by a different version?)"
+        )
+    return cls(**data)
 
 #: A VPN far beyond any mapped VMA (the 48-bit canonical ceiling).
 OUT_OF_RANGE_VPN = 1 << 36
@@ -236,7 +272,14 @@ class ChaosPolicy:
 
     @classmethod
     def from_json(cls, data: dict) -> "ChaosPolicy":
-        return cls(**data)
+        """Strict inverse of :meth:`to_json`.
+
+        Unknown or missing keys raise
+        :class:`repro.errors.ConfigurationError` (not a raw ``TypeError``)
+        so a task spec produced by a newer build fails loudly at the
+        supervisor boundary instead of deep inside a worker.
+        """
+        return dataclass_from_json(cls, data, "chaos policy")
 
 
 # ----------------------------------------------------------------------
@@ -259,6 +302,14 @@ class CampaignCell:
     @property
     def degraded(self) -> bool:
         return self.faulted_accesses > 0
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CampaignCell":
+        """Strict load; schema drift raises ``ConfigurationError``."""
+        return dataclass_from_json(cls, data, "campaign cell")
 
 
 @dataclass(slots=True)
@@ -294,6 +345,51 @@ class CampaignReport:
             lines.append(f"{cell.fault:>16s} × {cell.configuration:<9s} {status}")
         return lines
 
+    def to_json(self) -> dict:
+        """Versioned plain-dict form for CI artifact archiving."""
+        return {
+            "campaign_version": CAMPAIGN_VERSION,
+            "workload": self.workload,
+            "survived": self.survived,
+            "cells": [cell.to_json() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CampaignReport":
+        """Strict inverse of :meth:`to_json`.
+
+        Version or key-set mismatches raise
+        :class:`repro.errors.ConfigurationError` — an archived report
+        from a newer build must fail loudly, never half-load.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"campaign report: expected an object, got {type(data).__name__}"
+            )
+        version = data.get("campaign_version")
+        if version != CAMPAIGN_VERSION:
+            raise ConfigurationError(
+                f"campaign report version {version!r} unsupported "
+                f"(this build reads version {CAMPAIGN_VERSION})"
+            )
+        expected = {"campaign_version", "workload", "survived", "cells"}
+        unknown = sorted(set(data) - expected)
+        missing = sorted(expected - set(data))
+        if unknown or missing:
+            raise ConfigurationError(
+                "campaign report does not match this build's schema"
+                + (f"; unknown keys: {', '.join(unknown)}" if unknown else "")
+                + (f"; missing keys: {', '.join(missing)}" if missing else "")
+            )
+        return cls(
+            workload=data["workload"],
+            cells=[CampaignCell.from_json(cell) for cell in data["cells"]],
+        )
+
+    def write(self, path) -> None:
+        """Atomically archive the report (the CI-artifact path)."""
+        atomic_write_json(path, self.to_json(), indent=2)
+
 
 def run_fault_campaign(
     workload,
@@ -303,6 +399,7 @@ def run_fault_campaign(
     os_events: bool = True,
     audit: bool = False,
     seed: int = 0,
+    report_path=None,
 ) -> CampaignReport:
     """Run every (fault × configuration) cell in fault-tolerant mode.
 
@@ -310,7 +407,10 @@ def run_fault_campaign(
     the pseudo-fault ``"os_events"`` (added when ``os_events`` is true)
     runs an unperturbed trace under a shootdown + demotion schedule.
     Every cell is isolated: an exception is captured into the cell, never
-    propagated, so a campaign always returns a full report.
+    propagated, so a campaign always returns a full report.  When
+    ``report_path`` is given, the finished report is also archived there
+    as versioned JSON (atomic write) — the CI-artifact path, alongside
+    ``BENCH_throughput.json``.
     """
     settings = settings or ExperimentSettings(trace_accesses=50_000)
     report = CampaignReport(workload=workload.name)
@@ -351,4 +451,6 @@ def run_fault_campaign(
                 cell.error_type = f"unhandled:{type(exc).__name__}"
             cell.seconds = time.perf_counter() - started
             report.cells.append(cell)
+    if report_path is not None:
+        report.write(report_path)
     return report

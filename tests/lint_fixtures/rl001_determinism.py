@@ -34,6 +34,20 @@ def seed_from_clock():
     return seed
 
 
+def stream_helper_without_seed():
+    from repro.resilience.fuzz import rng_stream
+
+    return rng_stream()  # finding: stream helper with no seed material
+
+
+def stream_helper_time_seeded():
+    from repro.resilience import fuzz
+
+    return fuzz.rng_stream(time.time_ns(), "case")  # finding: time-derived
+
+
 def fine(seed: int):
-    # the blessed idiom: explicit seed threaded from the caller
-    return random.Random(seed), np.random.default_rng(seed)
+    # the blessed idioms: explicit seed threaded from the caller
+    from repro.resilience.fuzz import rng_stream
+
+    return random.Random(seed), np.random.default_rng(seed), rng_stream(seed, "case", 0)

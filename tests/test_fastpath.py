@@ -243,3 +243,20 @@ class TestTraceInputs:
         assert reference.faulted_accesses == 1
         assert reference.fault_records[0].vpn == -7
         assert fast == reference
+
+    def test_tolerant_mode_never_constructs_fast_engine(self, monkeypatch):
+        """The fallback is structural: FastEngine is not even built."""
+        from repro.core.fastpath import FastEngine
+
+        def explode(self, hierarchy, trace):
+            raise AssertionError("FastEngine constructed in tolerant mode")
+
+        monkeypatch.setattr(FastEngine, "__init__", explode)
+        prepared = prepare_run(
+            small_workload(), "4KB", SETTINGS, on_fault="record", engine="fast"
+        )
+        trace = as_vpn_array(prepared.trace).copy()
+        trace[4_000] = -7
+        prepared.trace = trace
+        result = prepared.run()
+        assert result.faulted_accesses == 1
