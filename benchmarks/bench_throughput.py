@@ -17,7 +17,10 @@ trace regimes:
 Guardrails: the reference engine keeps the historical 20k acc/s floor;
 the fast engine is held to per-config floors set ~4x below the rates
 measured on a development machine, so a regression that halves fast-path
-throughput fails loudly while CI-runner jitter does not.
+throughput fails loudly while CI-runner jitter does not.  A third case
+re-runs the fast engine with a *disabled* observability hub attached and
+holds it to the same floors shaved by 2% — the zero-cost claim of
+``docs/observability.md``, benchmarked.
 """
 
 import pytest
@@ -27,6 +30,7 @@ from repro.core.fastpath import ENGINES
 from repro.core.organizations import build_organization, paging_policy_for
 from repro.core.simulator import Simulator
 from repro.mem.physical import PhysicalMemory
+from repro.observability import Observability
 from repro.workloads.base import VMASpec, Workload
 from repro.workloads.patterns import Zipf
 from repro.workloads.registry import get_workload
@@ -47,6 +51,12 @@ FAST_FLOORS = {
 }
 #: The historical single floor, now scoped to the reference engine.
 REFERENCE_FLOOR = 20_000
+
+#: Disabled telemetry may cost at most 2% of the fast-engine floors:
+#: ``Observability.resolve`` collapses a disabled hub to ``None`` before
+#: the drain loop starts, so the instrumented and bare paths are the
+#: same code — this gate notices if that ever stops being true.
+TELEMETRY_FLOOR_FACTOR = 0.98
 
 
 def stream_workload() -> Workload:
@@ -98,4 +108,36 @@ def test_throughput(benchmark, trace_name, config, engine):
     assert rate > floor, (
         f"{trace_name}/{config}/{engine} simulated at {rate:.0f} acc/s "
         f"(floor {floor})"
+    )
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_throughput_telemetry_disabled(benchmark, config):
+    """Fast engine with a disabled hub attached holds 98% of its floors."""
+    workload = stream_workload()
+    trace = workload.trace(ACCESSES, seed=1)
+    settings = ExperimentSettings(trace_accesses=ACCESSES)
+
+    def run_once():
+        process = workload.build_process(
+            paging_policy_for(config), PhysicalMemory(settings.physical_bytes, seed=1)
+        )
+        organization = build_organization(config, process)
+        simulator = Simulator(
+            organization,
+            instructions_per_access=workload.instructions_per_access,
+            engine="fast",
+            observability=Observability(enabled=False),
+        )
+        return simulator.run(trace, fast_forward_accesses=0)
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert result.accesses == ACCESSES
+    if benchmark.stats is None:  # --benchmark-disable: correctness only
+        return
+    rate = ACCESSES / benchmark.stats.stats.mean
+    floor = FAST_FLOORS[config] * TELEMETRY_FLOOR_FACTOR
+    assert rate > floor, (
+        f"stream/{config}/fast with disabled telemetry simulated at "
+        f"{rate:.0f} acc/s (floor {floor:.0f})"
     )

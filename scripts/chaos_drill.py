@@ -14,10 +14,15 @@ matches the reference run's — i.e. random worker kills plus a resume
 cycle change *nothing* about the science.  Exit 0 on success, 1 on any
 mismatch.  CI runs this as the ``chaos`` job.
 
+With ``--metrics-out PATH`` the chaos and resume runs also collect
+worker telemetry (``metrics=True``), which doubles as an inertness
+check — the digests are compared against a metrics-free reference run —
+and the merged metrics sidecar is copied to ``PATH`` as a CI artifact.
+
 Usage::
 
     PYTHONPATH=src python scripts/chaos_drill.py [--accesses N]
-        [--workers N] [--kill-prob P] [--seed S]
+        [--workers N] [--kill-prob P] [--seed S] [--metrics-out PATH]
 """
 
 from __future__ import annotations
@@ -40,7 +45,9 @@ def main() -> int:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--kill-prob", type=float, default=0.35)
     parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--metrics-out", type=Path, default=None)
     args = parser.parse_args()
+    metrics = args.metrics_out is not None
 
     workload = get_workload(args.workload)
     settings = ExperimentSettings(trace_accesses=args.accesses)
@@ -63,7 +70,7 @@ def main() -> int:
         chaos_report = run_resilient_sweep(
             [workload], CONFIGS, settings,
             journal_path=chaotic, workers=args.workers,
-            chaos=chaos, backoff_s=0.0,
+            chaos=chaos, backoff_s=0.0, metrics=metrics,
         )
         crashes = sum(cell.attempts - 1 for cell in chaos_report.cells)
         print(f"      {chaos_report.summary()} ({crashes} worker crash(es))")
@@ -72,6 +79,7 @@ def main() -> int:
         resumed = run_resilient_sweep(
             [workload], CONFIGS, settings,
             journal_path=chaotic, workers=args.workers, resume=True,
+            metrics=metrics,
         )
         print(f"      {resumed.summary()}")
 
@@ -86,6 +94,15 @@ def main() -> int:
         if resumed.completed_count != len(CONFIGS):
             print("FAIL: resume did not replay every cell", file=sys.stderr)
             return 1
+        if metrics:
+            from repro.observability import metrics_sidecar_path
+
+            sidecar = metrics_sidecar_path(chaotic)
+            if not sidecar.exists():
+                print("FAIL: metrics sidecar was not written", file=sys.stderr)
+                return 1
+            args.metrics_out.write_text(sidecar.read_text())
+            print(f"metrics sidecar copied to {args.metrics_out}")
         print("OK: worker kills + resume are invisible in the results")
         return 0
 

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Coverage ratchet: fail CI when line coverage drops below the floor.
+
+Reads the JSON report written by ``pytest --cov=repro
+--cov-report=json:coverage.json`` and compares its total line-coverage
+percentage against the committed floor in ``.coverage-baseline.json``.
+The gate is a *ratchet*: ``--update-baseline`` raises the floor to the
+measured value when coverage improved, and never lowers it — coverage
+can only go up over time, and a PR that deletes tests (or adds a large
+untested subsystem) fails loudly.
+
+A small tolerance (default 0.25 percentage points) absorbs line-count
+drift from unrelated edits; anything larger than that is a real drop.
+
+Exit 0 when the floor holds, 1 when coverage regressed, 2 on a missing
+or malformed report.
+
+Usage::
+
+    python scripts/coverage_gate.py [--coverage coverage.json]
+        [--baseline .coverage-baseline.json] [--update-baseline]
+        [--tolerance PCT_POINTS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_BASELINE = REPO_ROOT / ".coverage-baseline.json"
+DEFAULT_TOLERANCE = 0.25
+
+
+def read_percent(path) -> float:
+    """Total line-coverage percentage from a coverage.py JSON report."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no coverage report at {path}")
+    try:
+        report = json.loads(path.read_text())
+        return float(report["totals"]["percent_covered"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ValueError(f"malformed coverage report {path}: {exc}") from exc
+
+
+def read_floor(path) -> float:
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no coverage baseline at {path}")
+    try:
+        baseline = json.loads(path.read_text())
+        return float(baseline["floor_percent"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ValueError(f"malformed coverage baseline {path}: {exc}") from exc
+
+
+def write_floor(path, percent: float) -> None:
+    payload = {"floor_percent": round(percent, 2)}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--coverage", type=Path, default=Path("coverage.json"))
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="ratchet the floor up to the measured value (never down)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        measured = read_percent(args.coverage)
+        floor = read_floor(args.baseline)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"coverage-gate: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline and measured > floor:
+        write_floor(args.baseline, measured)
+        print(f"coverage-gate: floor ratcheted {floor:.2f}% -> {measured:.2f}%")
+        floor = measured
+
+    if measured + args.tolerance < floor:
+        print(
+            f"coverage-gate: FAIL — {measured:.2f}% covered, floor "
+            f"{floor:.2f}% (tolerance {args.tolerance} points)"
+        )
+        return 1
+    print(f"coverage-gate: ok — {measured:.2f}% covered (floor {floor:.2f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,23 +1,31 @@
 #!/usr/bin/env python3
 """CI perf-smoke gate for the streak-coalescing fast engine.
 
-Two checks, both required:
+Three checks, all required:
 
-1. **Differential equivalence** — every TLB organization runs under both
-   engines with per-component state digests recorded at every interval
-   boundary; any result mismatch or digest divergence (localized via
-   :mod:`repro.resilience.bisect`) fails the gate.
+1. **Differential equivalence** — every TLB organization runs four ways
+   (reference/fast engine, each bare and with a live observability hub)
+   with per-component state digests recorded at every interval boundary;
+   any result mismatch or digest divergence (localized via
+   :mod:`repro.resilience.bisect`) fails the gate.  This is the
+   telemetry *inertness* proof riding the same harness as the engine
+   equivalence proof.
 2. **Throughput floor** — a reduced run over the long-streak ``stream``
    bench trace; the fast engine must stay at least ``--min-speedup``
    (default 1.5x, far below the ~5-8x a quiet machine measures, so CI
    jitter does not flake) above the reference engine on 4KB and THP.
+3. **Telemetry-disabled floor** — the fast engine with a *disabled*
+   observability hub attached must hold ``--max-telemetry-cost``
+   (default 2%) of the bare fast engine's rate on the same gated
+   configs: disabled telemetry must be free, not merely cheap.
 
-Exit 0 when both hold, 1 otherwise.
+Exit 0 when all hold, 1 otherwise.
 
 Usage::
 
     PYTHONPATH=src python scripts/perf_smoke.py
         [--accesses N] [--bench-accesses N] [--min-speedup R]
+        [--max-telemetry-cost F]
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from repro.core.organizations import (  # noqa: E402
 )
 from repro.core.simulator import Simulator  # noqa: E402
 from repro.mem.physical import PhysicalMemory  # noqa: E402
+from repro.observability import Observability  # noqa: E402
 from repro.resilience.bisect import (  # noqa: E402
     bisect_divergence,
     describe_divergence,
@@ -62,28 +71,52 @@ def smoke_workload() -> Workload:
 
 
 def check_equivalence(accesses: int) -> bool:
-    """All configurations: identical results + per-boundary digests."""
+    """All configurations, four ways: identical results + digests.
+
+    Baseline is the bare reference run; the bare fast run proves engine
+    equivalence, and the two hub-carrying runs prove telemetry inertness
+    under either engine.
+    """
     settings = ExperimentSettings(
         trace_accesses=accesses, seed=5, physical_bytes=1 << 28
     )
     workload = smoke_workload()
     ok = True
+    variants = (
+        ("fast", "reference"),
+        ("reference+obs", "reference"),
+        ("fast+obs", "fast"),
+    )
     for config in EXTENDED_CONFIG_NAMES:
-        reference = record_digest_trail(workload, config, settings)
-        fast = record_digest_trail(workload, config, settings, engine="fast")
-        divergence = bisect_divergence(reference.trail, fast.trail)
-        if divergence is not None:
-            print(f"FAIL {config}: {describe_divergence(divergence)}")
-            ok = False
-        elif fast.result != reference.result:
-            print(f"FAIL {config}: results differ with identical digests")
+        baseline = record_digest_trail(workload, config, settings)
+        failed = False
+        for label, engine in variants:
+            observability = Observability() if label.endswith("+obs") else None
+            run = record_digest_trail(
+                workload, config, settings, engine=engine, observability=observability
+            )
+            divergence = bisect_divergence(baseline.trail, run.trail)
+            if divergence is not None:
+                print(f"FAIL {config} [{label}]: {describe_divergence(divergence)}")
+                failed = True
+            elif run.result != baseline.result:
+                print(
+                    f"FAIL {config} [{label}]: results differ with identical digests"
+                )
+                failed = True
+        if failed:
             ok = False
         else:
-            print(f"ok   {config}: {reference.boundaries} boundaries byte-identical")
+            print(
+                f"ok   {config}: {baseline.boundaries} boundaries byte-identical "
+                f"across {len(variants) + 1} runs"
+            )
     return ok
 
 
-def throughput(workload, trace, config: str, engine: str, accesses: int) -> float:
+def throughput(
+    workload, trace, config: str, engine: str, accesses: int, observability=None
+) -> float:
     settings = ExperimentSettings(trace_accesses=accesses)
     process = workload.build_process(
         paging_policy_for(config), PhysicalMemory(settings.physical_bytes, seed=1)
@@ -93,6 +126,7 @@ def throughput(workload, trace, config: str, engine: str, accesses: int) -> floa
         organization,
         instructions_per_access=workload.instructions_per_access,
         engine=engine,
+        observability=observability,
     )
     start = time.perf_counter()
     simulator.run(trace, fast_forward_accesses=0)
@@ -123,19 +157,54 @@ def check_speedup(accesses: int, min_speedup: float) -> bool:
     return ok
 
 
+def check_telemetry_cost(accesses: int, max_cost: float) -> bool:
+    """A disabled hub may cost at most ``max_cost`` of the bare rate.
+
+    ``Observability.resolve`` collapses ``enabled=False`` to ``None``
+    before the drain loop starts, so this should measure pure noise; the
+    tolerance exists only to absorb timer jitter on loaded CI runners.
+    """
+    workload = stream_workload()
+    trace = workload.trace(accesses, seed=1)
+    disabled = Observability(enabled=False)
+    ok = True
+    for config in GATED_CONFIGS:
+        bare = max(
+            throughput(workload, trace, config, "fast", accesses) for _ in range(2)
+        )
+        with_hub = max(
+            throughput(workload, trace, config, "fast", accesses, disabled)
+            for _ in range(2)
+        )
+        cost = 1.0 - with_hub / bare
+        verdict = "ok  " if cost <= max_cost else "FAIL"
+        if cost > max_cost:
+            ok = False
+        print(
+            f"{verdict} {config}: disabled hub {with_hub:,.0f} acc/s vs bare "
+            f"{bare:,.0f} acc/s ({cost:+.1%} cost, ceiling {max_cost:.0%})"
+        )
+    return ok
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--accesses", type=int, default=6_000)
     parser.add_argument("--bench-accesses", type=int, default=60_000)
     parser.add_argument("--min-speedup", type=float, default=1.5)
+    parser.add_argument("--max-telemetry-cost", type=float, default=0.02)
     args = parser.parse_args()
 
-    print(f"[1/2] differential equivalence ({len(EXTENDED_CONFIG_NAMES)} configs, "
-          f"{args.accesses} accesses, digests at every boundary)")
+    print(f"[1/3] differential equivalence ({len(EXTENDED_CONFIG_NAMES)} configs, "
+          f"{args.accesses} accesses, digests at every boundary, engines x "
+          f"telemetry)")
     equivalent = check_equivalence(args.accesses)
-    print(f"[2/2] throughput gate (stream trace, {args.bench_accesses} accesses)")
+    print(f"[2/3] throughput gate (stream trace, {args.bench_accesses} accesses)")
     fast_enough = check_speedup(args.bench_accesses, args.min_speedup)
-    if equivalent and fast_enough:
+    print(f"[3/3] telemetry-disabled gate (ceiling "
+          f"{args.max_telemetry_cost:.0%} of bare fast-engine rate)")
+    telemetry_free = check_telemetry_cost(args.bench_accesses, args.max_telemetry_cost)
+    if equivalent and fast_enough and telemetry_free:
         print("perf-smoke: ok")
         return 0
     print("perf-smoke: FAILED")

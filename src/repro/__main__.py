@@ -25,6 +25,17 @@ sweep
     SIGKILLs at random drain-loop boundaries — fault injection aimed at
     the supervisor itself (the chaos CI job).  ``--print-digest`` prints
     the journal's order-independent row digest for cross-run comparison.
+    ``--metrics`` runs every cell with the observability layer and
+    aggregates per-cell snapshots into a ``<journal>.metrics.json``
+    sidecar (the journal itself stays byte-identical).
+metrics
+    Observability front-end (``docs/observability.md``).  Run one
+    (workload, configuration) cell with the telemetry hub enabled and
+    print its metric snapshot as a table (``--format text``), JSON, or
+    Prometheus text exposition; ``--chrome-trace PATH`` additionally
+    writes the phase-span timeline as a Chrome trace-event file.
+    Alternatively ``--journal PATH`` prints the aggregated totals from a
+    ``sweep --metrics`` sidecar instead of running anything.
 bisect-divergence
     Run one (workload, configuration) cell twice — fresh vs.
     resumed-from-checkpoint by default, or against a second seed
@@ -66,11 +77,12 @@ instead of a traceback; structured simulator errors print as
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 from pathlib import Path
 
-from .analysis.experiments import ExperimentSettings, run_workload_config
+from .analysis.experiments import ExperimentSettings, prepare_run, run_workload_config
 from .analysis.report import render_table
 from .core.organizations import (
     CONFIG_NAMES,
@@ -176,6 +188,7 @@ def _cmd_sweep(args) -> int:
         heartbeat_timeout_s=args.heartbeat_timeout,
         memory_limit_mb=args.memory_limit_mb,
         chaos=chaos,
+        metrics=args.metrics,
     )
     baseline_cell = report.cell(workload.name, CONFIG_NAMES[0])
     baseline = baseline_cell.row if baseline_cell and baseline_cell.completed else None
@@ -204,6 +217,20 @@ def _cmd_sweep(args) -> int:
     )
     if args.print_digest and journal_path is not None:
         print(f"journal digest: {SweepJournal(journal_path).digest()}")
+    if args.metrics and report.metrics is not None:
+        totals = report.metrics["totals"]
+        counters = totals.get("counters", {})
+        drained = counters.get("sim.accesses_drained", 0)
+        boundaries = counters.get("sim.boundaries", 0)
+        line = (
+            f"metrics: {len(report.metrics['cells'])} cells, "
+            f"{drained} accesses drained over {boundaries} boundaries"
+        )
+        if journal_path is not None:
+            from .observability import metrics_sidecar_path
+
+            line += f" → {metrics_sidecar_path(journal_path)}"
+        print(line)
     if report.interrupted:
         print(
             f"\nsweep interrupted ({report.summary()}); the journal is "
@@ -363,6 +390,74 @@ def _cmd_fuzz(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    from .observability import (
+        Observability,
+        metrics_sidecar_path,
+        read_metrics_sidecar,
+        render_totals_prometheus,
+    )
+
+    if args.journal is not None:
+        document = read_metrics_sidecar(metrics_sidecar_path(args.journal))
+        if args.format == "json":
+            print(json.dumps(document, indent=2, sort_keys=True))
+        elif args.format == "prometheus":
+            print(render_totals_prometheus(document), end="")
+        else:
+            _print_snapshot_table(
+                document.get("totals", {}),
+                title=f"aggregated over {len(document.get('cells', {}))} cells",
+            )
+        return 0
+
+    if args.workload is None:
+        print(
+            "metrics: a workload is required unless --journal is given",
+            file=sys.stderr,
+        )
+        return 2
+    workload = get_workload(args.workload)
+    settings = ExperimentSettings(trace_accesses=args.accesses, seed=args.seed)
+    observability = Observability()
+    prepared = prepare_run(
+        workload,
+        args.config,
+        settings,
+        engine=args.engine,
+        observability=observability,
+    )
+    prepared.run()
+    if args.chrome_trace is not None:
+        observability.write_chrome_trace(args.chrome_trace)
+        print(f"chrome trace: {args.chrome_trace}", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(observability.to_json(), indent=2, sort_keys=True))
+    elif args.format == "prometheus":
+        print(observability.render_prometheus(), end="")
+    else:
+        _print_snapshot_table(
+            observability.snapshot(),
+            title=f"{workload.name} / {args.config} ({args.engine} engine)",
+        )
+    return 0
+
+
+def _print_snapshot_table(snapshot: dict, title: str) -> None:
+    """Text rendering shared by the live and sidecar modes of ``metrics``."""
+    rows = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        rows.append([name, "counter", value])
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        rows.append([name, "gauge", value])
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        rows.append([name, "histogram", f"n={data['count']} sum={data['sum']:.6f}"])
+    if not rows:
+        print(f"no metrics recorded ({title})")
+        return
+    print(render_table(["metric", "kind", "value"], rows, title=title))
+
+
 def _cmd_audit(args) -> int:
     workload = get_workload(args.workload)
     settings = ExperimentSettings(trace_accesses=args.accesses, seed=args.seed)
@@ -486,6 +581,14 @@ def main(argv: list[str] | None = None) -> int:
         help="print the journal's order-independent row digest "
         "(requires --journal)",
     )
+    sweep_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="run every cell with the observability layer; aggregates "
+        "land in a <journal>.metrics.json sidecar (the journal itself "
+        "stays byte-identical) — inspect with 'python -m repro metrics "
+        "--journal'",
+    )
 
     bisect_parser = sub.add_parser(
         "bisect-divergence",
@@ -529,6 +632,45 @@ def main(argv: list[str] | None = None) -> int:
 
     describe_parser = sub.add_parser("describe", help="show a configuration")
     describe_parser.add_argument("config", type=_config_name)
+
+    metrics_parser = sub.add_parser(
+        "metrics", help="run one cell with telemetry on and print its metrics"
+    )
+    metrics_parser.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="workload to simulate (omit with --journal)",
+    )
+    metrics_parser.add_argument("--config", type=_config_name, default="TLB_Lite")
+    metrics_parser.add_argument("--accesses", type=int, default=50_000)
+    metrics_parser.add_argument("--seed", type=int, default=42)
+    metrics_parser.add_argument(
+        "--engine",
+        choices=("reference", "fast"),
+        default="reference",
+        help="drain engine (the fast engine adds fastpath.* counters)",
+    )
+    metrics_parser.add_argument(
+        "--format",
+        choices=("text", "json", "prometheus"),
+        default="text",
+        help="text table, full JSON document, or Prometheus exposition",
+    )
+    metrics_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="print the aggregated totals from a 'sweep --metrics' "
+        "journal's sidecar instead of running a simulation",
+    )
+    metrics_parser.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="PATH",
+        help="also write the phase-span timeline as Chrome trace-event "
+        "JSON (open in chrome://tracing or Perfetto)",
+    )
 
     audit_parser = sub.add_parser(
         "audit", help="simulate with runtime invariant checking"
@@ -611,6 +753,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "bisect-divergence": _cmd_bisect,
         "describe": _cmd_describe,
+        "metrics": _cmd_metrics,
         "audit": _cmd_audit,
         "fuzz": _cmd_fuzz,
         "lint": run_lint,

@@ -114,6 +114,7 @@ def prepare_run(
     auditor=None,
     on_fault: str = "raise",
     engine: str = "reference",
+    observability=None,
 ) -> PreparedRun:
     """Build the process, organization, trace, and simulator for one cell."""
     settings = settings or ExperimentSettings()
@@ -138,6 +139,7 @@ def prepare_run(
         auditor=auditor,
         on_fault=on_fault,
         engine=engine,
+        observability=observability,
     )
     return PreparedRun(
         workload=workload,

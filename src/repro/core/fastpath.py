@@ -148,7 +148,7 @@ def _walk_tail(h: TLBHierarchy, vpn: int) -> None:
 # ----------------------------------------------------------------------
 # Shape-specialized code generation
 # ----------------------------------------------------------------------
-def _generate_drain(h):
+def _generate_drain(h, probe=None):
     """Compile a drain function specialized to ``h``'s current shape.
 
     Returns ``None`` when the hierarchy is not a plain
@@ -161,6 +161,14 @@ def _generate_drain(h):
     stopped (``stop``, or earlier after a shape change), and flushes its
     locally accumulated counts into the live structures before
     returning.
+
+    ``probe`` (a :class:`repro.observability.FastPathProbe`) is the
+    telemetry hook: when present, per-*segment* probe-bump statements
+    are appended to the flush section.  When absent — the default, and
+    always the case with telemetry disabled — those statements are never
+    emitted, so the generated source is byte-identical to an
+    uninstrumented build (assert ``"probe" not in
+    drain.__repro_source__``).
     """
     if type(h) is not TLBHierarchy:
         return None
@@ -414,6 +422,13 @@ def _generate_drain(h):
     # pure-JSON state digests.
     flush.append("    h.accesses += int(cum[i] - cum[start]) - undone")
     flush.append("    h.l1_misses += l1m")
+    if probe is not None:
+        # Telemetry, compiled in only on request: one segment-granular
+        # bump per generated-drain return, never per access.
+        namespace["probe"] = probe
+        flush.append("    probe.coalesced_accesses += int(cum[i] - cum[start]) - undone")
+        flush.append("    probe.replayed_accesses += undone")
+        flush.append("    probe.drained_segments += 1")
 
     init = (
         "; ".join(f"ph{si} = pm{si} = at{si} = pf{si} = 0" for si in range(nslots))
@@ -439,8 +454,11 @@ def _generate_drain(h):
     lines.append("    i = stop - hint()")
     lines += flush
     lines.append("    return i")
-    exec("\n".join(lines), namespace)
-    return namespace["drain"]
+    source = "\n".join(lines)
+    exec(source, namespace)
+    drain = namespace["drain"]
+    drain.__repro_source__ = source
+    return drain
 
 
 # ----------------------------------------------------------------------
@@ -458,10 +476,11 @@ class FastEngine:
     """
 
     __slots__ = ("_hierarchy", "_vpns", "_tokens", "_cum", "_tok", "_pos",
-                 "_rep", "_rep_vpn", "_drains")
+                 "_rep", "_rep_vpn", "_drains", "_probe")
 
-    def __init__(self, hierarchy, trace) -> None:
+    def __init__(self, hierarchy, trace, probe=None) -> None:
         self._hierarchy = hierarchy
+        self._probe = probe
         self._vpns = as_vpn_array(trace)
         if type(hierarchy) is TLBHierarchy:
             self._tokens, self._cum = encode_trace(self._vpns)
@@ -485,6 +504,9 @@ class FastEngine:
             # The tolist matches the reference drain — components store
             # the vpns they are handed, and a leaked np.int64 would
             # poison the pure-JSON state digests.
+            if self._probe is not None:
+                self._probe.replayed_accesses += stop - start
+                self._probe.fallback_spans += 1
             slow = self._hierarchy.access
             for vpn in self._vpns[start:stop].tolist():
                 slow(vpn)
@@ -499,6 +521,8 @@ class FastEngine:
             # Finish a run the previous boundary split, reference-exact.
             take = min(self._rep, stop - self._pos)
             vpn = self._rep_vpn
+            if self._probe is not None:
+                self._probe.replayed_accesses += take
             for _ in range(take):
                 slow(vpn)
             self._rep -= take
@@ -521,6 +545,9 @@ class FastEngine:
             # replay the head of the run slow, bank the tail.
             vpn = tokens[tok - 1]
             take = stop - self._pos
+            if self._probe is not None:
+                self._probe.replayed_accesses += take
+                self._probe.boundary_splits += 1
             for _ in range(take):
                 slow(vpn)
             self._rep = -tokens[tok] - take
@@ -556,7 +583,9 @@ class FastEngine:
         try:
             return self._drains[key]
         except KeyError:
-            drain = _generate_drain(hierarchy)
+            drain = _generate_drain(hierarchy, self._probe)
+            if drain is not None and self._probe is not None:
+                self._probe.generated_drains += 1
             self._drains[key] = drain
             return drain
 
@@ -571,6 +600,9 @@ class FastEngine:
         """
         slow = self._hierarchy.access
         cum = self._cum
+        if self._probe is not None:
+            self._probe.fallback_spans += 1
+            self._probe.replayed_accesses += int(cum[stop_tok]) - int(cum[tok])
         for vpn in self._vpns[int(cum[tok]) : int(cum[stop_tok])].tolist():
             slow(vpn)
         return stop_tok

@@ -19,10 +19,13 @@ instruction semantics, only their density relative to memory operations.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..energy.model import EnergyModel
 from ..energy.performance import miss_cycles
 from ..errors import CheckpointError, SimulationError
 from ..mmu.page_table import PageFault
+from ..observability import Observability, SimulatorInstrumentation
 from .fastpath import ENGINES, FastEngine
 from .hierarchy import ConfigurationError
 from .organizations import Organization
@@ -57,6 +60,15 @@ class Simulator:
     and state digests at every boundary.  Fault-tolerant runs
     (``on_fault="record"``) always use the reference loop — per-access
     fault attribution is incompatible with coalescing.
+
+    ``observability`` optionally attaches a telemetry hub
+    (:class:`repro.observability.Observability`).  The hub is resolved
+    at construction: a ``None`` or *disabled* hub stores as ``None`` and
+    the run takes the bare code path — zero hot-loop overhead, no probe
+    statements in the fastpath codegen.  An enabled hub collects
+    boundary-granular counters, phase spans, and fast-engine probe
+    counts without perturbing any result or state digest (the inertness
+    guarantee proven by ``tests/test_observability.py``).
     """
 
     def __init__(
@@ -70,6 +82,7 @@ class Simulator:
         auditor=None,
         max_fault_records: int = 256,
         engine: str = "reference",
+        observability: Observability | None = None,
     ) -> None:
         if instructions_per_access <= 0:
             raise SimulationError("instructions_per_access must be positive")
@@ -92,6 +105,7 @@ class Simulator:
         self.auditor = auditor
         self.max_fault_records = max_fault_records
         self.engine = engine
+        self.observability = Observability.resolve(observability)
 
     # ------------------------------------------------------------------
     def run(
@@ -242,8 +256,22 @@ class Simulator:
         # ----- hot loop: fast engine, plain, or per-access tolerant -----
         tolerant = self.on_fault == "record"
 
+        # A disabled hub resolved to None at construction, so ``inst is
+        # None`` *is* the bare path — no telemetry object exists at all.
+        inst = None
+        if self.observability is not None:
+            inst = SimulatorInstrumentation(
+                self.observability,
+                workload=self.workload_name,
+                configuration=self.organization.name,
+                engine=self.engine,
+                total=total,
+                fast_engine=self.engine == "fast" and not tolerant,
+            )
+
         if self.engine == "fast" and not tolerant:
-            drain = FastEngine(hierarchy, vpns).drain
+            engine_probe = inst.probe if inst is not None else None
+            drain = FastEngine(hierarchy, vpns, probe=engine_probe).drain
         else:
 
             def drain(start: int, stop: int) -> None:
@@ -277,18 +305,30 @@ class Simulator:
 
         # ----- fast-forward (warm structures, Lite live, stats discarded)
         if phase == "fast-forward":
+            if inst is not None:
+                inst.begin_phase("fast-forward")
             if resume_state is None:
                 fire_events(0)
             while pos < fast_forward_accesses:
                 stop = min(fast_forward_accesses, next_interval, next_event_position())
-                drain(pos, stop)
+                if inst is None:
+                    drain(pos, stop)
+                else:
+                    drain_started = perf_counter()
+                    drain(pos, stop)
+                    inst.boundary(stop - pos, perf_counter() - drain_started)
                 pos = stop
                 fire_events(pos)
                 if lite is not None and pos == next_interval:
                     misses = hierarchy.l1_misses
-                    lite.end_interval(
-                        misses - last_interval_misses, interval_instructions
-                    )
+                    if inst is None:
+                        lite.end_interval(
+                            misses - last_interval_misses, interval_instructions
+                        )
+                    else:
+                        inst.lite_interval(
+                            lite, misses - last_interval_misses, interval_instructions
+                        )
                     last_interval_misses = misses
                     next_interval += interval_accesses
                 boundary += 1
@@ -304,14 +344,28 @@ class Simulator:
             phase = "measured"
 
         # ----- measured run with timeline sampling ----------------------
+        if inst is not None:
+            inst.begin_phase("measured")
         while pos < total:
             stop = min(total, next_interval, next_sample, next_event_position())
-            drain(pos, stop)
+            if inst is None:
+                drain(pos, stop)
+            else:
+                drain_started = perf_counter()
+                drain(pos, stop)
+                inst.boundary(stop - pos, perf_counter() - drain_started)
             pos = stop
             fire_events(pos)
             if lite is not None and pos == next_interval:
                 misses = hierarchy.l1_misses
-                lite.end_interval(misses - last_interval_misses, interval_instructions)
+                if inst is None:
+                    lite.end_interval(
+                        misses - last_interval_misses, interval_instructions
+                    )
+                else:
+                    inst.lite_interval(
+                        lite, misses - last_interval_misses, interval_instructions
+                    )
                 last_interval_misses = misses
                 next_interval += interval_accesses
             if pos == next_sample:
@@ -326,6 +380,8 @@ class Simulator:
                 )
                 last_sample_misses = misses
                 next_sample += window
+                if inst is not None:
+                    inst.sample()
                 if self.auditor is not None:
                     self.auditor.audit_hierarchy(hierarchy, lite, faulted)
             boundary += 1
@@ -367,4 +423,6 @@ class Simulator:
             self.auditor.audit_result(
                 result, self.organization, self.energy_model
             )
+        if inst is not None:
+            inst.finish(result, events_fired=event_index)
         return result

@@ -62,6 +62,11 @@ by *kind* instead of string-matching messages:
 ``FuzzError``
     The differential fuzzing harness cannot proceed (a corpus reproducer
     that no longer fails, replay over an empty corpus).
+``ObservabilityError``
+    The telemetry layer was misused (duplicate metric registered under a
+    different type, invalid metric name, unreadable metrics sidecar).
+    Never raised from an instrumented hot path — observability failures
+    must not take a simulation down.
 
 Most classes double-derive from the built-in exception they historically
 replaced (``ValueError``, ``KeyError``, ``FileNotFoundError``) so that
@@ -232,6 +237,18 @@ class FuzzError(ReproError):
     cannot be minimized, or replay/minimize invoked against an empty
     corpus.  Oracle *failures* are data (``FuzzFailure``), not exceptions;
     this class covers the harness itself misfiring.
+    """
+
+
+class ObservabilityError(ReproError, ValueError):
+    """The observability layer was misconfigured or misused.
+
+    Covers metric-registry misuse (one name registered as two different
+    metric types, malformed metric names, negative counter increments)
+    and unreadable/incompatible metrics sidecar files.  Registration
+    happens at setup time and export happens after a run, so this never
+    fires from an instrumented simulation loop.  Double-derives from
+    :class:`ValueError` for callers with generic validation handlers.
     """
 
 

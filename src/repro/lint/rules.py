@@ -317,6 +317,15 @@ _HOT_METHODS = frozenset({"access", "lookup", "fill", "insert"})
 #: allocation-heavy builtins priced once per *call*, fatal once per access.
 _HOT_ALLOC_CALLS = frozenset({"sorted", "list", "dict", "set", "tuple", "deepcopy"})
 
+#: telemetry call leaves banned from the per-access path: timers and
+#: span plumbing move at boundary granularity (one bump per drain
+#: segment — see docs/observability.md), never per access.
+_TELEMETRY_LEAVES = frozenset({"trace_span", "perf_counter", "monotonic"})
+
+#: dotted-name segments that mark a call as telemetry plumbing
+#: (``self.obs.begin(...)``, ``observability.span(...)``, ...).
+_TELEMETRY_SEGMENTS = frozenset({"obs", "observability", "telemetry"})
+
 
 def iter_purity_violations(func: ast.AST) -> Iterator[tuple[ast.AST, str]]:
     """Yield ``(node, description)`` for every purity violation in ``func``.
@@ -343,6 +352,10 @@ def iter_purity_violations(func: ast.AST) -> Iterator[tuple[ast.AST, str]]:
                 yield node, f"logging/printing ({name})"
             elif leaf in _HOT_ALLOC_CALLS and "." not in name:
                 yield node, f"allocation-heavy call ({name}())"
+            elif leaf in _TELEMETRY_LEAVES or _TELEMETRY_SEGMENTS & set(
+                name.split(".")
+            ):
+                yield node, f"telemetry in the per-access path ({name})"
 
 
 class HotPathPurityRule(LintRule):

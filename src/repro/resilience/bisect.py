@@ -45,13 +45,26 @@ class TrailRun:
     boundaries: int
 
 
-def _prepare(workload, config_name, settings, trace_fault, fault_seed, engine="reference"):
+def _prepare(
+    workload,
+    config_name,
+    settings,
+    trace_fault,
+    fault_seed,
+    engine="reference",
+    observability=None,
+):
     """Canonical cell build, optionally with a perturbed trace."""
     # Perturbed traces produce unmappable VPNs; the simulator must survive
     # them (tolerant mode) for the trail to reach the end of the trace.
     on_fault = "record" if trace_fault is not None else "raise"
     prepared = prepare_run(
-        workload, config_name, settings, on_fault=on_fault, engine=engine
+        workload,
+        config_name,
+        settings,
+        on_fault=on_fault,
+        engine=engine,
+        observability=observability,
     )
     if trace_fault is not None:
         try:
@@ -73,17 +86,27 @@ def record_digest_trail(
     trace_fault: str | None = None,
     fault_seed: int = 0,
     engine: str = "reference",
+    observability=None,
 ) -> TrailRun:
     """Run one cell start-to-finish, recording digests every Nth boundary.
 
     ``engine`` selects the simulator drain engine, so two trails of the
     same cell under ``"reference"`` and ``"fast"`` can be bisected
     against each other to localize an engine divergence.
+
+    ``observability`` threads a telemetry hub through the simulator and
+    the checkpointer — the inertness suite records trails with the hub
+    on and off and proves them identical.
     """
     settings = settings or ExperimentSettings()
-    prepared = _prepare(workload, config_name, settings, trace_fault, fault_seed, engine)
+    prepared = _prepare(
+        workload, config_name, settings, trace_fault, fault_seed, engine, observability
+    )
     checkpointer = SimulationCheckpointer(
-        prepared.simulator, prepared.process, digest_every=digest_every
+        prepared.simulator,
+        prepared.process,
+        digest_every=digest_every,
+        observability=observability,
     )
     result = prepared.run(checkpoint_hook=checkpointer)
     return TrailRun(
@@ -103,6 +126,7 @@ def record_resumed_trail(
     trace_fault: str | None = None,
     fault_seed: int = 0,
     engine: str = "reference",
+    observability=None,
 ) -> TrailRun:
     """Kill the cell after ``abort_after`` boundaries, then resume and finish.
 
@@ -116,7 +140,9 @@ def record_resumed_trail(
     if snapshot_path is None:
         raise CheckpointError("record_resumed_trail needs a snapshot_path")
     settings = settings or ExperimentSettings()
-    first = _prepare(workload, config_name, settings, trace_fault, fault_seed, engine)
+    first = _prepare(
+        workload, config_name, settings, trace_fault, fault_seed, engine, observability
+    )
     first_checkpointer = SimulationCheckpointer(
         first.simulator,
         first.process,
@@ -124,6 +150,7 @@ def record_resumed_trail(
         checkpoint_every=1,
         digest_every=digest_every,
         abort_after=abort_after,
+        observability=observability,
     )
     try:
         first.run(checkpoint_hook=first_checkpointer)
@@ -134,10 +161,15 @@ def record_resumed_trail(
     except AbortSimulation:
         pass
 
-    resumed = _prepare(workload, config_name, settings, trace_fault, fault_seed, engine)
+    resumed = _prepare(
+        workload, config_name, settings, trace_fault, fault_seed, engine, observability
+    )
     loop_state = resume_from_snapshot(resumed, snapshot_path)
     resumed_checkpointer = SimulationCheckpointer(
-        resumed.simulator, resumed.process, digest_every=digest_every
+        resumed.simulator,
+        resumed.process,
+        digest_every=digest_every,
+        observability=observability,
     )
     result = resumed.run(
         checkpoint_hook=resumed_checkpointer, resume_state=loop_state

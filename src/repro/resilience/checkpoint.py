@@ -32,6 +32,7 @@ from pathlib import Path
 
 from ..errors import CheckpointError
 from ..ioutils import atomic_write_json
+from ..observability import Observability
 from ..stateful import require
 
 #: Bump when the snapshot layout changes incompatibly.  Policy: loading
@@ -275,6 +276,13 @@ class SimulationCheckpointer:
         supervisor's workers use it to pump heartbeats, honour graceful
         shutdown, and let the chaos policy strike — all without paying
         for a snapshot at boundaries that don't want one.
+    observability:
+        Optional telemetry hub (:class:`repro.observability.
+        Observability`).  Resolved at construction — a disabled hub
+        stores as ``None``, the bare path.  Enabled, the checkpointer
+        counts snapshots/digests under the ``checkpoint.`` scope and
+        wraps snapshot/digest work in a ``checkpoint`` span.  The
+        digests and snapshots themselves are never touched.
     """
 
     def __init__(
@@ -287,6 +295,7 @@ class SimulationCheckpointer:
         meta: dict | None = None,
         abort_after: int | None = None,
         on_boundary=None,
+        observability=None,
     ) -> None:
         if checkpoint_every < 1:
             raise CheckpointError("checkpoint_every must be >= 1")
@@ -301,6 +310,18 @@ class SimulationCheckpointer:
         self.trail = DigestTrail()
         self.boundaries_seen = 0
         self.snapshots_written = 0
+        self.observability = Observability.resolve(observability)
+        if self.observability is not None:
+            scope = self.observability.registry.scope("checkpoint")
+            self._snapshot_counter = scope.counter(
+                "snapshots", "simulation snapshots persisted"
+            )
+            self._digest_counter = scope.counter(
+                "digests", "per-component digest records taken"
+            )
+            self._checkpoint_seconds = scope.histogram(
+                "seconds", "wall time per snapshot/digest boundary"
+            )
 
     def __call__(self, loop_state: dict) -> None:
         self.boundaries_seen += 1
@@ -310,12 +331,25 @@ class SimulationCheckpointer:
         )
         want_digest = self.digest_every and boundary % self.digest_every == 0
         if want_snapshot or want_digest:
+            obs = self.observability
+            span = (
+                obs.begin("checkpoint", boundary=boundary)
+                if obs is not None
+                else None
+            )
             state = simulation_state(self.simulator, self.process, loop_state)
             if want_digest:
                 self.trail.record(boundary, component_digests(state))
             if want_snapshot:
                 write_snapshot(self.path, state, meta={**self.meta, "boundary": boundary})
                 self.snapshots_written += 1
+            if span is not None:
+                obs.end(span)
+                self._checkpoint_seconds.observe(span.duration or 0.0)
+                if want_digest:
+                    self._digest_counter.inc()
+                if want_snapshot:
+                    self._snapshot_counter.inc()
         if self.on_boundary is not None:
             self.on_boundary(loop_state)
         if self.abort_after is not None and self.boundaries_seen >= self.abort_after:
@@ -338,6 +372,8 @@ class SimulationCheckpointer:
             self.path, state, meta={**self.meta, "boundary": loop_state["boundary"]}
         )
         self.snapshots_written += 1
+        if self.observability is not None:
+            self._snapshot_counter.inc()
         return True
 
 

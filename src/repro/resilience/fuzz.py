@@ -24,6 +24,14 @@ reproducer), run through an **oracle stack**:
     :class:`repro.resilience.auditor.InvariantAuditor` rides along on the
     reference run, checking the accounting/energy/Lite/LRU identities at
     every timeline boundary and once more on the finished result.
+``observability``
+    Telemetry inertness: the case re-runs with a live
+    :class:`repro.observability.Observability` hub attached to the
+    simulator and the checkpointer (engine and a mid-run
+    Prometheus-export toggle drawn from the case's own seed), and its
+    digest trail plus final result must match the bare reference run's
+    exactly — the fuzzed generalization of the hand-written inertness
+    matrix in ``tests/test_observability.py``.
 ``taxonomy``
     No non-taxonomy exception may escape: anything that is not a
     :class:`repro.errors.ReproError` is a bug by definition.
@@ -67,6 +75,7 @@ from ..core.stats import SimulationResult
 from ..errors import ConfigurationError, FuzzError, InvariantViolation, ReproError
 from ..ioutils import atomic_write_json
 from ..mem.physical import PhysicalMemory
+from ..observability import Observability
 from ..workloads.base import VMASpec, Workload
 from ..workloads.patterns import (
     Mixture,
@@ -96,7 +105,7 @@ CORPUS_VERSION = 1
 #: Oracle stack, in evaluation order.  ``taxonomy`` has no run of its
 #: own: every oracle's runs are wrapped, and any non-taxonomy exception
 #: escaping one of them is attributed to it.
-ORACLE_NAMES = ("engines", "resume", "auditor", "taxonomy")
+ORACLE_NAMES = ("engines", "resume", "auditor", "observability", "taxonomy")
 
 #: Configurations the generator samples (every registered organization).
 FUZZ_CONFIG_NAMES = (
@@ -364,7 +373,10 @@ class BuiltCase:
 
 
 def build_case(
-    case: FuzzCase, engine: str = "reference", auditor: InvariantAuditor | None = None
+    case: FuzzCase,
+    engine: str = "reference",
+    auditor: InvariantAuditor | None = None,
+    observability: Observability | None = None,
 ) -> BuiltCase:
     """Instantiate the canonical pipeline for one fuzz case."""
     workload = case.build_workload()
@@ -387,6 +399,7 @@ def build_case(
         on_fault=case.on_fault,
         auditor=auditor,
         engine=engine,
+        observability=observability,
     )
     events = case.build_events(process, len(trace))
     return BuiltCase(case, workload, process, organization, trace, simulator, events)
@@ -524,8 +537,13 @@ def run_case(case: FuzzCase) -> CaseOutcome:
     digest-visible even though it is semantically idempotent, so an
     audited run can never serve as a digest baseline.  Riding separately
     also lets the oracle check the repo's standing guarantee that
-    enabling the auditor changes no result.  A full stack costs roughly
-    four simulations plus one killed prefix.
+    enabling the auditor changes no result.  The ``observability``
+    oracle likewise gets a run of its own — a live hub attached to
+    simulator and checkpointer, with the engine and a mid-run
+    Prometheus-export toggle coined from ``rng_stream(case.seed,
+    "observability")`` — whose trail and result must match the bare
+    reference run's.  A full stack costs roughly five simulations plus
+    one killed prefix.
     """
     started = time.perf_counter()
     want = set(case.oracles)
@@ -639,6 +657,42 @@ def run_case(case: FuzzCase) -> CaseOutcome:
             )
             if failure is not None:
                 return outcome(failure, boundaries)
+
+    if "observability" in want:
+        # Telemetry must be inert under *either* engine, and exporting
+        # metrics mid-run must not perturb the simulation — coin both
+        # from the case's own seed so replays are deterministic.
+        obs_rng = rng_stream(case.seed, "observability")
+        obs_engine = "fast" if obs_rng.random() < 0.5 else "reference"
+        export_per_boundary = bool(obs_rng.random() < 0.5)
+        try:
+            hub = Observability()
+            observed = build_case(case, engine=obs_engine, observability=hub)
+            obs_checkpointer = SimulationCheckpointer(
+                observed.simulator,
+                observed.process,
+                digest_every=case.digest_every,
+                observability=hub,
+            )
+            hook = obs_checkpointer
+            if export_per_boundary:
+
+                def hook(state):
+                    obs_checkpointer(state)
+                    hub.render_prometheus()
+
+            obs_result = observed.run(checkpoint_hook=hook)
+        except Exception as exc:  # noqa: BLE001 — the stack classifies everything
+            return outcome(_classify_exception("observability", exc), boundaries)
+        failure = _compare_runs(
+            "observability",
+            ref_checkpointer.trail,
+            obs_checkpointer.trail,
+            ref_result,
+            obs_result,
+        )
+        if failure is not None:
+            return outcome(failure, boundaries)
 
     return outcome(None, boundaries)
 
@@ -789,6 +843,15 @@ def _sample_trace(rng: np.random.Generator, accesses: int) -> tuple[dict, str]:
 def generate_case(seed: int, index: int) -> FuzzCase:
     """Deterministically sample case ``index`` of campaign ``seed``."""
     rng = rng_stream(seed, "case", index)
+    # The observability oracle toggles on a stream of its own so that
+    # adding it left every pre-existing ``case`` draw — and hence the
+    # committed corpus — byte-stable.
+    oracle_rng = rng_stream(seed, "case-oracles", index)
+    oracles = (
+        ORACLE_NAMES
+        if oracle_rng.random() < 0.5
+        else tuple(name for name in ORACLE_NAMES if name != "observability")
+    )
     config = _choice(rng, FUZZ_CONFIG_NAMES)
     workload = _sample_workload(rng)
     accesses = int(_choice(rng, _TRACE_ACCESSES))
@@ -821,7 +884,7 @@ def generate_case(seed: int, index: int) -> FuzzCase:
         on_fault=on_fault,
         resume_frac=float(_choice(rng, (0.2, 0.4, 0.6, 0.8))),
         digest_every=int(_choice(rng, (1, 2, 3))),
-        oracles=ORACLE_NAMES,
+        oracles=oracles,
     )
 
 

@@ -103,6 +103,7 @@ class WorkerTask:
     allow_snapshot_resume: bool = False
     memory_limit_mb: int | None = None
     chaos: dict | None = None
+    metrics: bool = False
 
 
 def _apply_memory_limit(limit_mb: int | None) -> None:
@@ -149,8 +150,11 @@ def _worker_main(task: WorkerTask, result_conn, heartbeat_conn) -> None:
 
     signal.signal(signal.SIGTERM, _on_sigterm)
     try:
-        row = _simulate_cell(task, heartbeat_conn, shutdown)
-        result_conn.send({"status": "ok", "row": row})
+        row, metrics = _simulate_cell(task, heartbeat_conn, shutdown)
+        message = {"status": "ok", "row": row}
+        if metrics is not None:
+            message["metrics"] = metrics
+        result_conn.send(message)
     except _GracefulExit as exc:
         result_conn.send({"status": "interrupted", "error": str(exc)})
     except MemoryError as exc:
@@ -173,8 +177,8 @@ def _worker_main(task: WorkerTask, result_conn, heartbeat_conn) -> None:
         heartbeat_conn.close()
 
 
-def _simulate_cell(task: WorkerTask, heartbeat_conn, shutdown: dict) -> dict:
-    """Run one cell inside the worker; returns its journal row."""
+def _simulate_cell(task: WorkerTask, heartbeat_conn, shutdown: dict) -> tuple:
+    """Run one cell inside the worker; returns (journal row, metrics|None)."""
     # Imports kept local so a spawn-start worker pays them here, not at
     # module import inside the supervisor's hot loop.
     from ..analysis.experiments import ExperimentSettings, prepare_run
@@ -195,8 +199,20 @@ def _simulate_cell(task: WorkerTask, heartbeat_conn, shutdown: dict) -> dict:
     chaos_rng = chaos.rng(key, task.attempt) if chaos else None
 
     auditor = InvariantAuditor() if task.audit else None
+    observability = None
+    if task.metrics:
+        from ..observability import Observability
+
+        # Each worker owns its own hub; snapshots (plain dicts) cross the
+        # heartbeat and result pipes, never the hub object itself.
+        observability = Observability()
     prepared = prepare_run(
-        workload, task.configuration, settings, auditor=auditor, on_fault="record"
+        workload,
+        task.configuration,
+        settings,
+        auditor=auditor,
+        on_fault="record",
+        observability=observability,
     )
     checkpoint_path = (
         Path(task.checkpoint_path) if task.checkpoint_path is not None else None
@@ -223,10 +239,13 @@ def _simulate_cell(task: WorkerTask, heartbeat_conn, shutdown: dict) -> dict:
     hook_box: list = []
 
     def on_boundary(loop_state: dict) -> None:
+        beat = {"boundary": loop_state["boundary"], "ts": time.monotonic()}
+        if observability is not None:
+            # Cumulative snapshot: if the worker crashes later, the
+            # supervisor keeps the last beat's metrics as best-effort.
+            beat["metrics"] = observability.snapshot()
         try:
-            heartbeat_conn.send(
-                {"boundary": loop_state["boundary"], "ts": time.monotonic()}
-            )
+            heartbeat_conn.send(beat)
         except (BrokenPipeError, OSError):
             pass  # supervisor died; finish the cell, the result send will tell
         if chaos is not None:
@@ -248,10 +267,12 @@ def _simulate_cell(task: WorkerTask, heartbeat_conn, shutdown: dict) -> dict:
         checkpoint_every=task.checkpoint_every or 1,
         meta={"workload": task.workload, "configuration": task.configuration},
         on_boundary=on_boundary,
+        observability=observability,
     )
     hook_box.append(hook)
     result = prepared.run(checkpoint_hook=hook, resume_state=resume_state)
-    return result_row(result)
+    metrics = observability.snapshot() if observability is not None else None
+    return result_row(result), metrics
 
 
 # ----------------------------------------------------------------------
@@ -285,6 +306,7 @@ class _Inflight:
     result: dict | None = None
     killed_for: str | None = None  # "timeout" | "hang" | "shutdown"
     result_seen_at: float | None = None
+    last_metrics: dict | None = None  # cumulative snapshot off the heartbeat
 
 
 class _ShutdownState:
@@ -326,6 +348,7 @@ def run_supervised_sweep(
     memory_limit_mb: int | None = None,
     chaos: ChaosPolicy | None = None,
     graceful_timeout_s: float = 30.0,
+    metrics: bool = False,
 ) -> SweepReport:
     """Run the matrix with every cell in its own supervised OS process.
 
@@ -356,6 +379,14 @@ def run_supervised_sweep(
     ``graceful_timeout_s``
         After SIGINT/SIGTERM, how long drained workers get to flush
         snapshots and exit before SIGKILL.
+    ``metrics``
+        Enable per-worker telemetry: each worker runs its cell with an
+        :class:`repro.observability.Observability` hub, streams
+        cumulative snapshots over the heartbeat pipe (so even a crashed
+        cell leaves its last reading), and reports the final snapshot
+        with the result.  Aggregates land in the
+        ``<journal>.metrics.json`` sidecar and on ``report.metrics`` —
+        the journal itself stays byte-identical to a metrics-off run.
     """
     from ..analysis.experiments import ExperimentSettings
 
@@ -459,6 +490,7 @@ def run_supervised_sweep(
                         memory_limit_mb=memory_limit_mb,
                         chaos_spec=chaos_spec,
                         cell_timeout_s=cell_timeout_s,
+                        metrics=metrics,
                     )
                     inflight[entry.process.pid] = entry
             _poll(inflight)
@@ -502,7 +534,27 @@ def run_supervised_sweep(
         and all(cell.status != "skipped" for cell in report.cells)
     ):
         ledger.reset()  # sweep finished; no crash history to carry forward
+    if metrics:
+        from ..observability import aggregate_cell_metrics, write_metrics_sidecar
+
+        fresh = {
+            _cell_key(cell.workload, cell.configuration): cell.metrics
+            for cell in report.cells
+            if cell.metrics is not None
+        }
+        existing = (
+            _metrics_sidecar(journal) if journal is not None and resume else None
+        )
+        report.metrics = aggregate_cell_metrics(fresh, existing)
+        if journal is not None:
+            write_metrics_sidecar(journal.path, report.metrics)
     return report
+
+
+def _metrics_sidecar(journal):
+    from ..observability import metrics_sidecar_path
+
+    return metrics_sidecar_path(journal.path)
 
 
 # ----------------------------------------------------------------------
@@ -576,6 +628,7 @@ def _launch(
     memory_limit_mb,
     chaos_spec,
     cell_timeout_s,
+    metrics: bool = False,
 ) -> _Inflight:
     checkpoint_path = None
     if journal is not None and checkpoint_every is not None:
@@ -595,6 +648,7 @@ def _launch(
         allow_snapshot_resume=allow_snapshot,
         memory_limit_mb=memory_limit_mb,
         chaos=chaos_spec,
+        metrics=metrics,
     )
     result_recv, result_send = ctx.Pipe(duplex=False)
     heartbeat_recv, heartbeat_send = ctx.Pipe(duplex=False)
@@ -640,8 +694,10 @@ def _poll(inflight: dict[int, _Inflight]) -> None:
     for entry in inflight.values():
         try:
             while entry.heartbeat_recv.poll():
-                entry.heartbeat_recv.recv()
+                beat = entry.heartbeat_recv.recv()
                 entry.last_heartbeat = now
+                if isinstance(beat, dict) and "metrics" in beat:
+                    entry.last_metrics = beat["metrics"]
         except (EOFError, OSError):
             pass  # worker side closed; liveness is judged elsewhere
         if entry.result is None:
@@ -724,6 +780,10 @@ def _finalize(
     cell = cells_by_key[slot.key]
     cell.attempts = slot.attempt + 1
     cell.seconds += now - entry.started
+    if entry.last_metrics is not None and cell.metrics is None:
+        # Best-effort: the last heartbeat's cumulative snapshot survives
+        # a crash/timeout; an "ok" result below overwrites it.
+        cell.metrics = entry.last_metrics
     done = True
 
     if outcome == "result":
@@ -733,6 +793,7 @@ def _finalize(
             cell.status = "ok"
             cell.row = result["row"]
             cell.error = None
+            cell.metrics = result.get("metrics", entry.last_metrics)
             if journal is not None:
                 journal.append(slot.key, cell.row)
             _unlink_snapshot(journal, slot.key, checkpoint_every)

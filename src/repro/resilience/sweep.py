@@ -291,6 +291,10 @@ class SweepCell:
     error: str | None = None
     attempts: int = 0
     seconds: float = 0.0
+    #: Final observability snapshot (``metrics=True`` sweeps only).  For a
+    #: crashed/timed-out cell under the supervisor this is the last
+    #: heartbeat's cumulative snapshot — best-effort, never authoritative.
+    metrics: dict | None = None
 
     @property
     def completed(self) -> bool:
@@ -303,6 +307,10 @@ class SweepReport:
 
     cells: list[SweepCell] = field(default_factory=list)
     interrupted: bool = False
+    #: Aggregated metrics document ({"cells": ..., "totals": ...}) when
+    #: the sweep ran with ``metrics=True``; mirrored to the
+    #: ``<journal>.metrics.json`` sidecar when a journal is in use.
+    metrics: dict | None = None
 
     def rows(self) -> list[dict]:
         return [cell.row for cell in self.cells if cell.completed]
@@ -399,6 +407,7 @@ def run_resilient_sweep(
     heartbeat_timeout_s: float | None = None,
     memory_limit_mb: int | None = None,
     chaos=None,
+    metrics: bool = False,
 ) -> SweepReport:
     """Run the (workload × configuration) matrix with full hardening.
 
@@ -441,6 +450,12 @@ def run_resilient_sweep(
         ``heartbeat_timeout_s``, ``memory_limit_mb``, and ``chaos``
         (a :class:`repro.resilience.faults.ChaosPolicy`) only apply
         there.
+    ``metrics``
+        Run every cell with an :class:`repro.observability.Observability`
+        hub and aggregate the per-cell snapshots onto ``report.metrics``
+        (and, with a journal, into the ``<journal>.metrics.json``
+        sidecar).  The journal itself stays byte-identical to a
+        metrics-off sweep — telemetry never enters result rows.
     """
     if workers is not None:
         if checkpoint_hook_factory is not None:
@@ -469,6 +484,7 @@ def run_resilient_sweep(
             heartbeat_timeout_s=heartbeat_timeout_s,
             memory_limit_mb=memory_limit_mb,
             chaos=chaos,
+            metrics=metrics,
         )
 
     settings = settings or ExperimentSettings()
@@ -545,6 +561,7 @@ def run_resilient_sweep(
                 checkpoint_every=checkpoint_every,
                 resume_cell=resume,
                 checkpoint_hook_factory=checkpoint_hook_factory,
+                metrics=metrics,
             )
             executed += 1
             if cell.completed and journal is not None:
@@ -554,6 +571,26 @@ def run_resilient_sweep(
             report.cells.append(cell)
             if progress is not None:
                 progress(cell)
+    if metrics:
+        from ..observability import (
+            aggregate_cell_metrics,
+            metrics_sidecar_path,
+            write_metrics_sidecar,
+        )
+
+        fresh = {
+            _cell_key(cell.workload, cell.configuration): cell.metrics
+            for cell in report.cells
+            if cell.metrics is not None
+        }
+        existing = (
+            metrics_sidecar_path(journal.path)
+            if journal is not None and resume
+            else None
+        )
+        report.metrics = aggregate_cell_metrics(fresh, existing)
+        if journal is not None:
+            write_metrics_sidecar(journal.path, report.metrics)
     return report
 
 
@@ -569,6 +606,7 @@ def _run_cell(
     checkpoint_every: int | None = None,
     resume_cell: bool = False,
     checkpoint_hook_factory=None,
+    metrics: bool = False,
 ) -> SweepCell:
     """One isolated cell: attempts, backoff, timeout, structured outcome."""
     cell = SweepCell(workload=workload.name, configuration=config_name, status="failed")
@@ -578,6 +616,11 @@ def _run_cell(
         cell.attempts = attempt + 1
         try:
             def simulate(attempt=attempt):
+                observability = None
+                if metrics:
+                    from ..observability import Observability
+
+                    observability = Observability()
                 auditor = InvariantAuditor() if audit else None
                 prepared = prepare_run(
                     workload,
@@ -585,6 +628,7 @@ def _run_cell(
                     settings,
                     auditor=auditor,
                     on_fault="record",
+                    observability=observability,
                 )
                 resume_state = None
                 if (
@@ -609,15 +653,19 @@ def _run_cell(
                             "workload": workload.name,
                             "configuration": config_name,
                         },
+                        observability=observability,
                     )
                     if checkpoint_hook_factory is not None:
                         checkpoint_hook_factory(hook)
                 result = prepared.run(
                     checkpoint_hook=hook, resume_state=resume_state
                 )
-                return result_row(result)
+                snapshot = (
+                    observability.snapshot() if observability is not None else None
+                )
+                return result_row(result), snapshot
 
-            cell.row = _run_with_timeout(simulate, cell_timeout_s)
+            cell.row, cell.metrics = _run_with_timeout(simulate, cell_timeout_s)
             cell.status = "ok"
             cell.error = None
             break

@@ -1,6 +1,7 @@
 """Fixture: RL003 hot-path purity violations."""
 
 import logging
+import time
 
 logger = logging.getLogger(__name__)
 
@@ -24,6 +25,12 @@ class BadTLB:
     def access(self, key):
         data = {k: v for k, v in self.entries.items()}  # finding: DictComp
         return data.get(key)
+
+    def insert(self, key, value):
+        started = time.perf_counter()  # finding: telemetry (timer)
+        self.obs.instant("insert", key=key)  # finding: telemetry (hub call)
+        self.entries[key] = value
+        return started
 
     def cold_report(self):
         # not a hot-path method name: comprehensions are fine here

@@ -24,7 +24,13 @@ component naming.
 import numpy as np
 import pytest
 
-from repro.analysis.experiments import ExperimentSettings, prepare_run
+from tests.fastpath_helpers import (
+    SETTINGS,
+    assert_engines_agree,
+    small_workload,
+    streaky_trace,
+)
+from repro.analysis.experiments import prepare_run
 from repro.core.fastpath import ENGINES, encode_trace
 from repro.core.organizations import EXTENDED_CONFIG_NAMES
 from repro.errors import SimulationError, TraceError
@@ -34,58 +40,7 @@ from repro.resilience.bisect import (
     record_digest_trail,
     record_resumed_trail,
 )
-from repro.resilience.checkpoint import SimulationCheckpointer
-from repro.workloads.base import VMASpec, Workload
-from repro.workloads.patterns import Zipf
 from repro.workloads.tracefile import as_vpn_array
-
-SETTINGS = ExperimentSettings(trace_accesses=6_000, seed=5, physical_bytes=1 << 28)
-
-#: Run length of the synthetic streak traces.  Chosen so the default
-#: boundary schedule splits runs: the timeline window (5400 measured
-#: accesses / 50 windows = 108) and the scaled Lite interval
-#: (10_000 instructions / 3 ipa = 3333 accesses) are both indivisible
-#: by it, so samples and interval ends land mid-run.
-RUN_LENGTH = 40
-
-
-def small_workload(name: str = "fastpath") -> Workload:
-    return Workload(
-        name,
-        "TEST",
-        [VMASpec("heap", 6), VMASpec("stack", 1, thp_eligible=False)],
-        lambda regions: Zipf(regions["heap"].subregion(0, 24), alpha=1.1, burst=3),
-        instructions_per_access=3.0,
-    )
-
-
-def streaky_trace() -> np.ndarray:
-    """A mapped trace of constant-length streaks (RUN_LENGTH repeats)."""
-    prepared = prepare_run(small_workload(), "4KB", SETTINGS)
-    base = as_vpn_array(prepared.trace)[: SETTINGS.trace_accesses // RUN_LENGTH]
-    return np.repeat(base, RUN_LENGTH)
-
-
-def run_with_digests(config_name, trace, engine, events_at=()):
-    """One run over a custom trace: (digest trail, result)."""
-    prepared = prepare_run(small_workload(), config_name, SETTINGS, engine=engine)
-    prepared.trace = trace
-    checkpointer = SimulationCheckpointer(
-        prepared.simulator, prepared.process, digest_every=1
-    )
-    events = [
-        (position, lambda org: org.hierarchy.flush_tlbs()) for position in events_at
-    ]
-    result = prepared.run(events=events, checkpoint_hook=checkpointer)
-    return checkpointer.trail, result
-
-
-def assert_engines_agree(config_name, trace, events_at=()):
-    ref_trail, ref_result = run_with_digests(config_name, trace, "reference", events_at)
-    fast_trail, fast_result = run_with_digests(config_name, trace, "fast", events_at)
-    divergence = bisect_divergence(ref_trail, fast_trail)
-    assert divergence is None, describe_divergence(divergence)
-    assert fast_result == ref_result
 
 
 # ----------------------------------------------------------------------

@@ -8,6 +8,7 @@ bucket fingerprint — then passes again once the defect is reverted.
 """
 
 import json
+from dataclasses import replace
 
 import pytest
 
@@ -58,6 +59,23 @@ def _install_restore_defect(monkeypatch) -> None:
         self._pending_fills = 0
 
     monkeypatch.setattr(SetAssociativeTLB, "load_state_dict", broken)
+
+
+def _install_telemetry_defect(monkeypatch) -> None:
+    """Seeded bug: end-of-run telemetry mutates the result it publishes.
+
+    Only the observability oracle's run carries a hub, so only that run
+    is perturbed — the exact inertness violation the oracle exists for.
+    """
+    from repro.observability import SimulatorInstrumentation
+
+    original = SimulatorInstrumentation.finish
+
+    def broken(self, result, events_fired):
+        result.l1_misses += 1
+        original(self, result, events_fired=events_fired)
+
+    monkeypatch.setattr(SimulatorInstrumentation, "finish", broken)
 
 
 # ----------------------------------------------------------------------
@@ -203,6 +221,58 @@ class TestOracles:
         report = run_fuzz(seed=0, cases=50, max_seconds=0.0)
         assert report.budget_exhausted
         assert report.cases_run == 0
+
+
+class TestObservabilityOracle:
+    def test_oracle_registered(self):
+        assert "observability" in ORACLE_NAMES
+
+    def test_oracle_toggle_is_independent_of_case_draws(self):
+        """The toggle rides its own rng stream: the generator must both
+        include and omit the oracle across a campaign, and flipping it
+        must leave every other case field untouched (corpus stability).
+        """
+        included = set()
+        for index in range(16):
+            case = generate_case(5, index)
+            included.add("observability" in case.oracles)
+            bare = replace(
+                case,
+                oracles=tuple(n for n in ORACLE_NAMES if n != "observability"),
+            )
+            payload, bare_payload = case.to_json(), bare.to_json()
+            payload.pop("oracles"), bare_payload.pop("oracles")
+            assert payload == bare_payload
+        assert included == {True, False}
+
+    def test_seeded_telemetry_defect_end_to_end(self, tmp_path):
+        """A hub that perturbs the run is caught, banked, and replays."""
+        case = replace(generate_case(0, 1), oracles=ORACLE_NAMES)
+        with pytest.MonkeyPatch.context() as patch:
+            _install_telemetry_defect(patch)
+            outcome = run_case(case)
+            assert not outcome.ok
+            assert outcome.failure.oracle == "observability"
+            assert outcome.failure.kind == "result-mismatch"
+            assert "l1_misses" in outcome.failure.components
+
+            path = write_reproducer(
+                tmp_path / f"{outcome.failure.fingerprint}.json",
+                case,
+                outcome.failure,
+            )
+            replayed = replay_corpus([path])
+            assert [r.status for r in replayed] == ["fail"]
+            assert replayed[0].outcome.failure.oracle == "observability"
+
+        # Defect reverted: telemetry is inert again and the entry passes.
+        assert [r.status for r in replay_corpus([path])] == ["pass"]
+
+    def test_clean_tree_passes_with_oracle_forced_on(self):
+        for index in range(2):
+            case = replace(generate_case(9, index), oracles=ORACLE_NAMES)
+            outcome = run_case(case)
+            assert outcome.ok, outcome.failure.to_json()
 
 
 # ----------------------------------------------------------------------

@@ -25,7 +25,7 @@ FIXTURES = TESTS_DIR / "lint_fixtures"
 RULE_FIXTURES = {
     "RL001": ("rl001_determinism.py", 10),
     "RL002": ("rl002_taxonomy.py", 4),
-    "RL003": ("rl003_hot_path.py", 6),
+    "RL003": ("rl003_hot_path.py", 8),
     "RL004": ("rl004_stats.py", 2),
     "RL005": ("rl005_pow2.py", 2),
     "RL006": ("rl006_mutable_default.py", 3),
@@ -79,6 +79,13 @@ class TestRuleFixtures:
     def test_rl003_only_fires_on_hot_methods(self):
         findings = lint_file(FIXTURES / "rl003_hot_path.py")
         assert not any("cold_report" in f.message for f in findings)
+
+    def test_rl003_flags_telemetry_in_hot_methods(self):
+        findings = lint_file(FIXTURES / "rl003_hot_path.py")
+        telemetry = [f for f in findings if "telemetry" in f.message]
+        assert len(telemetry) == 2
+        assert any("perf_counter" in f.message for f in telemetry)
+        assert any("self.obs.instant" in f.message for f in telemetry)
 
     def test_rl005_guarded_constructor_passes(self):
         findings = lint_file(FIXTURES / "rl005_pow2.py")

@@ -1,0 +1,171 @@
+"""Schema and golden-output tests for the CI gate scripts.
+
+``scripts/`` carried no test coverage of its own: the perf-smoke gate,
+the throughput-report artifact, and the coverage ratchet were exercised
+only by actually running in CI, where a silent schema drift (a renamed
+JSON key, a broken argparse default) would surface as a confusing red
+job instead of a pointed test failure.  These tests run each script's
+``main`` in-process on tiny inputs and pin the observable contract:
+exit codes, report schemas, and the gate verdict lines.
+"""
+
+import importlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for _entry in (REPO_ROOT / "scripts", REPO_ROOT / "benchmarks"):
+    if str(_entry) not in sys.path:
+        sys.path.insert(0, str(_entry))
+
+bench_report = importlib.import_module("bench_report")
+bench_throughput = importlib.import_module("bench_throughput")
+coverage_gate = importlib.import_module("coverage_gate")
+perf_smoke = importlib.import_module("perf_smoke")
+
+
+# ----------------------------------------------------------------------
+# scripts/bench_report.py — the BENCH_throughput.json artifact
+# ----------------------------------------------------------------------
+class TestBenchReport:
+    def test_report_schema_round_trip(self, tmp_path, monkeypatch, capsys):
+        out = tmp_path / "BENCH_throughput.json"
+        monkeypatch.setattr(
+            sys,
+            "argv",
+            ["bench_report.py", "--accesses", "2000", "--rounds", "1",
+             "--output", str(out)],
+        )
+        assert bench_report.main() == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+
+        payload = json.loads(out.read_text())
+        assert set(payload) == {
+            "commit", "accesses", "rounds", "generated_by", "rows", "speedups",
+        }
+        assert payload["accesses"] == 2000
+        assert payload["rounds"] == 1
+        assert payload["generated_by"] == "scripts/bench_report.py"
+
+        expected_cells = (
+            len(bench_throughput.TRACES)
+            * len(bench_throughput.CONFIGS)
+            * len(bench_throughput.ENGINES)
+        )
+        assert len(payload["rows"]) == expected_cells
+        for row in payload["rows"]:
+            assert set(row) == {"trace", "config", "engine", "accesses_per_second"}
+            assert row["trace"] in bench_throughput.TRACES
+            assert row["config"] in bench_throughput.CONFIGS
+            assert row["engine"] in bench_throughput.ENGINES
+            assert row["accesses_per_second"] > 0
+
+        assert set(payload["speedups"]) == set(bench_throughput.TRACES)
+        for per_config in payload["speedups"].values():
+            assert set(per_config) == set(bench_throughput.CONFIGS)
+            assert all(ratio > 0 for ratio in per_config.values())
+
+
+# ----------------------------------------------------------------------
+# scripts/perf_smoke.py — the three-part perf gate
+# ----------------------------------------------------------------------
+class TestPerfSmoke:
+    def test_gate_passes_on_healthy_tree(self, monkeypatch, capsys):
+        """All three checks run and pass on a tiny trace.
+
+        The speedup and telemetry-cost floors are slackened to
+        jitter-proof values — at 4 000 accesses the timings are noise;
+        this pins the *flow* (equivalence matrix, verdict lines, exit
+        code), while CI runs the real floors at full size.
+        """
+        monkeypatch.setattr(
+            sys,
+            "argv",
+            ["perf_smoke.py", "--accesses", "2000", "--bench-accesses", "4000",
+             "--min-speedup", "0.01", "--max-telemetry-cost", "0.95"],
+        )
+        assert perf_smoke.main() == 0
+        captured = capsys.readouterr().out
+        assert "[1/3]" in captured
+        assert "[2/3]" in captured
+        assert "[3/3]" in captured
+        assert "perf-smoke: ok" in captured
+        assert "FAIL" not in captured
+        # every extended config reports four byte-identical runs
+        assert captured.count("byte-identical across 4 runs") == len(
+            perf_smoke.EXTENDED_CONFIG_NAMES
+        )
+
+
+# ----------------------------------------------------------------------
+# scripts/coverage_gate.py — the ratchet
+# ----------------------------------------------------------------------
+class TestCoverageGate:
+    def _write(self, tmp_path, measured, floor):
+        coverage = tmp_path / "coverage.json"
+        coverage.write_text(
+            json.dumps({"totals": {"percent_covered": measured}})
+        )
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"floor_percent": floor}))
+        return coverage, baseline
+
+    def _run(self, coverage, baseline, *extra):
+        return coverage_gate.main(
+            ["--coverage", str(coverage), "--baseline", str(baseline), *extra]
+        )
+
+    def test_passes_above_floor(self, tmp_path, capsys):
+        coverage, baseline = self._write(tmp_path, measured=81.5, floor=75.0)
+        assert self._run(coverage, baseline) == 0
+        assert "ok — 81.50% covered (floor 75.00%)" in capsys.readouterr().out
+
+    def test_fails_below_floor(self, tmp_path, capsys):
+        coverage, baseline = self._write(tmp_path, measured=70.0, floor=75.0)
+        assert self._run(coverage, baseline) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_tolerance_absorbs_line_count_drift(self, tmp_path):
+        coverage, baseline = self._write(tmp_path, measured=74.8, floor=75.0)
+        assert self._run(coverage, baseline) == 0
+        assert self._run(coverage, baseline, "--tolerance", "0.05") == 1
+
+    def test_update_baseline_ratchets_up(self, tmp_path, capsys):
+        coverage, baseline = self._write(tmp_path, measured=80.0, floor=75.0)
+        assert self._run(coverage, baseline, "--update-baseline") == 0
+        assert "ratcheted 75.00% -> 80.00%" in capsys.readouterr().out
+        assert json.loads(baseline.read_text()) == {"floor_percent": 80.0}
+
+    def test_update_baseline_never_lowers_the_floor(self, tmp_path):
+        coverage, baseline = self._write(tmp_path, measured=70.0, floor=75.0)
+        assert self._run(coverage, baseline, "--update-baseline") == 1
+        assert json.loads(baseline.read_text()) == {"floor_percent": 75.0}
+
+    def test_missing_report_is_exit_2(self, tmp_path, capsys):
+        _, baseline = self._write(tmp_path, measured=80.0, floor=75.0)
+        assert self._run(tmp_path / "absent.json", baseline) == 2
+        assert "no coverage report" in capsys.readouterr().err
+
+    def test_malformed_report_is_exit_2(self, tmp_path, capsys):
+        coverage, baseline = self._write(tmp_path, measured=80.0, floor=75.0)
+        coverage.write_text(json.dumps({"totals": {}}))
+        assert self._run(coverage, baseline) == 2
+        assert "malformed coverage report" in capsys.readouterr().err
+
+    def test_committed_baseline_is_well_formed(self):
+        floor = coverage_gate.read_floor(REPO_ROOT / ".coverage-baseline.json")
+        assert 0.0 < floor <= 100.0
+
+
+# ----------------------------------------------------------------------
+# scripts/chaos_drill.py — the --metrics-out surface
+# ----------------------------------------------------------------------
+class TestChaosDrillCli:
+    def test_metrics_out_flag_is_wired(self):
+        """The argparse surface accepts --metrics-out (CI relies on it)."""
+        source = (REPO_ROOT / "scripts" / "chaos_drill.py").read_text()
+        assert "--metrics-out" in source
+        assert "metrics_sidecar_path" in source
